@@ -1,0 +1,85 @@
+// E15 — engineering micro-benchmarks (Google Benchmark).
+//
+// Throughput of the primitives everything else is built on: the exact Zipf
+// sampler, the jump distribution, ring sampling, direct-path stepping, and
+// whole-process stepping for walks and flights. These numbers bound how
+// large an (ℓ, k, trials) grid the experiment binaries can afford.
+
+#include <benchmark/benchmark.h>
+
+#include "src/baselines/simple_random_walk.h"
+#include "src/core/levy_flight.h"
+#include "src/core/levy_walk.h"
+#include "src/grid/direct_path.h"
+#include "src/grid/ring.h"
+#include "src/rng/jump_distribution.h"
+#include "src/rng/zipf.h"
+
+namespace {
+
+using namespace levy;
+
+void BM_Xoshiro(benchmark::State& state) {
+    rng g = rng::seeded(1);
+    for (auto _ : state) benchmark::DoNotOptimize(g());
+}
+BENCHMARK(BM_Xoshiro);
+
+void BM_ZipfSample(benchmark::State& state) {
+    const zipf_sampler z(state.range(0) / 100.0);
+    rng g = rng::seeded(2);
+    for (auto _ : state) benchmark::DoNotOptimize(z(g));
+}
+BENCHMARK(BM_ZipfSample)->Arg(150)->Arg(250)->Arg(350);  // α = 1.5, 2.5, 3.5
+
+void BM_JumpSample(benchmark::State& state) {
+    const jump_distribution d(2.5);
+    rng g = rng::seeded(3);
+    for (auto _ : state) benchmark::DoNotOptimize(d.sample(g));
+}
+BENCHMARK(BM_JumpSample);
+
+void BM_JumpSampleCapped(benchmark::State& state) {
+    const jump_distribution d(2.5);
+    rng g = rng::seeded(4);
+    for (auto _ : state) benchmark::DoNotOptimize(d.sample_capped(g, 1000));
+}
+BENCHMARK(BM_JumpSampleCapped);
+
+void BM_RingSample(benchmark::State& state) {
+    rng g = rng::seeded(5);
+    for (auto _ : state) benchmark::DoNotOptimize(sample_ring(origin, state.range(0), g));
+}
+BENCHMARK(BM_RingSample)->Arg(10)->Arg(10000);
+
+void BM_DirectPathStep(benchmark::State& state) {
+    rng g = rng::seeded(6);
+    direct_path_stepper s(origin, {1 << 20, 1 << 19});
+    for (auto _ : state) {
+        if (s.done()) s = direct_path_stepper(origin, {1 << 20, 1 << 19});
+        benchmark::DoNotOptimize(s.advance(g));
+    }
+}
+BENCHMARK(BM_DirectPathStep);
+
+void BM_LevyWalkStep(benchmark::State& state) {
+    levy_walk w(state.range(0) / 100.0, rng::seeded(7));
+    for (auto _ : state) benchmark::DoNotOptimize(w.step());
+}
+BENCHMARK(BM_LevyWalkStep)->Arg(150)->Arg(250)->Arg(350);
+
+void BM_LevyFlightStep(benchmark::State& state) {
+    levy_flight f(2.5, rng::seeded(8));
+    for (auto _ : state) benchmark::DoNotOptimize(f.step());
+}
+BENCHMARK(BM_LevyFlightStep);
+
+void BM_SimpleRandomWalkStep(benchmark::State& state) {
+    baselines::simple_random_walk w(rng::seeded(9));
+    for (auto _ : state) benchmark::DoNotOptimize(w.step());
+}
+BENCHMARK(BM_SimpleRandomWalkStep);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,71 @@
+#pragma once
+
+// Shared scaffolding for the experiment binaries (E1-E14). Each binary
+// validates one statement of the paper: it prints the claim, sweeps the
+// statement's parameters, and emits a paper-vs-measured table. All binaries
+// accept --trials/--scale/--threads/--seed/--csv (see sim::run_options) and
+// run with fast defaults suitable for `for b in build/bench/*; do $b; done`.
+
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "src/core/hitting.h"
+#include "src/rng/rng_stream.h"
+#include "src/sim/experiment.h"
+#include "src/sim/monte_carlo.h"
+#include "src/stats/table.h"
+
+namespace levy::bench {
+
+/// Print the experiment banner: id, the validated statement, and the claim.
+inline void banner(const std::string& id, const std::string& statement,
+                   const std::string& claim) {
+    std::cout << "=== " << id << " — " << statement << " ===\n";
+    std::cout << "Paper claim: " << claim << "\n\n";
+}
+
+/// Wrap a bench main: parse options, run, convert exceptions to exit codes.
+inline int run_main(int argc, char** argv,
+                    const std::function<void(const sim::run_options&)>& body) {
+    try {
+        const auto opts = sim::parse_run_options(argc, argv);
+        body(opts);
+        return 0;
+    } catch (const std::exception& e) {
+        std::cerr << argv[0] << ": " << e.what() << '\n';
+        return 1;
+    }
+}
+
+/// Scale an integer dimension by --scale (at least 1).
+inline std::int64_t scaled(std::int64_t base, double scale) {
+    const auto v = static_cast<std::int64_t>(static_cast<double>(base) * scale);
+    return v < 1 ? 1 : v;
+}
+
+/// Generic parallel hitting time over k arbitrary jump processes, for the
+/// baseline comparisons (E9) where the searchers are not Lévy walks.
+/// `make(i, stream)` builds the i-th searcher from its private stream.
+template <class Factory>
+hit_result parallel_hit_generic(std::size_t k, point target, std::uint64_t budget,
+                                rng trial_stream, Factory&& make) {
+    hit_result best{false, budget};
+    const point_target goal{target};
+    for (std::size_t i = 0; i < k; ++i) {
+        rng stream = trial_stream.substream(i);
+        auto proc = make(i, stream);
+        const std::uint64_t remaining = best.hit ? best.time - 1 : budget;
+        const hit_result r = hit_within(proc, goal, remaining);
+        if (r.hit) {
+            best = r;
+            if (r.time == 0) break;
+        }
+    }
+    return best;
+}
+
+}  // namespace levy::bench

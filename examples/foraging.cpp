@@ -1,0 +1,65 @@
+// Foraging: the paper's motivating scenario (§1.2.4).
+//
+// A colony of ants (think Cataglyphis — no pheromone trails, so the walks
+// really are independent) leaves the nest to look for food whose distance
+// nobody knows. Each ant follows a Lévy walk with its own random exponent
+// α ~ U(2,3). We drop food at several distance scales and watch the same
+// colony handle all of them — the "works for every ell simultaneously"
+// property of Theorem 1.6.
+//
+//   $ ./examples/foraging [--trials=N] [--seed=X]
+
+#include <iostream>
+#include <vector>
+
+#include "src/core/parallel_search.h"
+#include "src/core/strategy.h"
+#include "src/core/theory.h"
+#include "src/sim/experiment.h"
+#include "src/sim/trial.h"
+#include "src/stats/summary.h"
+#include "src/stats/table.h"
+
+int main(int argc, char** argv) {
+    using namespace levy;
+    try {
+        const auto opts = sim::parse_run_options(argc, argv);
+        const std::size_t colony = 64;
+        const std::size_t expeditions = opts.trials != 0 ? opts.trials : 40;
+
+        std::cout << "A colony of " << colony
+                  << " ants forages with random Levy exponents (alpha ~ U(2,3)).\n"
+                  << "Food is planted at several distances; the ants know none of them.\n\n";
+
+        stats::text_table table({"food distance", "expeditions", "found", "median steps",
+                                 "optimal possible (ell^2/k + ell)"});
+        for (const std::int64_t ell : {16L, 48L, 144L}) {
+            sim::parallel_walk_config cfg;
+            cfg.k = colony;
+            cfg.strategy = uniform_exponent();
+            cfg.ell = ell;
+            cfg.budget = static_cast<std::uint64_t>(
+                100.0 * theory::universal_lower_bound(static_cast<double>(colony),
+                                                      static_cast<double>(ell)));
+            const auto sample = sim::parallel_hitting_times(
+                cfg, opts.mc(expeditions, static_cast<std::uint64_t>(ell)));
+            table.add_row({stats::fmt(ell), stats::fmt(expeditions),
+                           stats::fmt(sample.hits) + "/" + stats::fmt(expeditions),
+                           stats::fmt(stats::median(sample.times), 0),
+                           stats::fmt(theory::universal_lower_bound(
+                                          static_cast<double>(colony),
+                                          static_cast<double>(ell)),
+                                      0)});
+        }
+        table.print(std::cout);
+        std::cout << "\nNo ant was tuned for any particular distance — the diversity of\n"
+                     "exponents in the colony covers every scale (Theorem 1.6). An\n"
+                     "individual-variation hypothesis the paper suggests testing in the\n"
+                     "field: different members of one species may follow different\n"
+                     "search patterns.\n";
+        return 0;
+    } catch (const std::exception& e) {
+        std::cerr << "foraging: " << e.what() << '\n';
+        return 1;
+    }
+}

@@ -1,0 +1,62 @@
+#pragma once
+
+/// Umbrella header: the whole public API of the levywalks library.
+/// Downstream users add the repository root (and `include/`) to their
+/// include path, link `liblevy.a`, and `#include <levy/levy.h>`.
+
+// RNG substrate
+#include "src/rng/jump_distribution.h"
+#include "src/rng/rng_stream.h"
+#include "src/rng/splitmix64.h"
+#include "src/rng/xoshiro256pp.h"
+#include "src/rng/zeta.h"
+#include "src/rng/zipf.h"
+
+// Grid substrate
+#include "src/grid/ball.h"
+#include "src/grid/direct_path.h"
+#include "src/grid/point.h"
+#include "src/grid/ring.h"
+
+// Statistics
+#include "src/stats/bootstrap.h"
+#include "src/stats/ecdf.h"
+#include "src/stats/goodness_of_fit.h"
+#include "src/stats/histogram.h"
+#include "src/stats/proportion.h"
+#include "src/stats/regression.h"
+#include "src/stats/summary.h"
+#include "src/stats/table.h"
+
+// Core library
+#include "src/core/hitting.h"
+#include "src/core/intermittent.h"
+#include "src/core/jump_process.h"
+#include "src/core/levy_flight.h"
+#include "src/core/levy_walk.h"
+#include "src/core/parallel_search.h"
+#include "src/core/strategy.h"
+#include "src/core/target.h"
+#include "src/core/target_field.h"
+#include "src/core/theory.h"
+
+// Simulation engine
+#include "src/sim/experiment.h"
+#include "src/sim/monte_carlo.h"
+#include "src/sim/trajectory.h"
+#include "src/sim/trial.h"
+
+// Exact analysis
+#include "src/analysis/occupancy.h"
+#include "src/analysis/path_marginal.h"
+
+// Baselines
+#include "src/baselines/ballistic_walk.h"
+#include "src/baselines/fk_ants.h"
+#include "src/baselines/simple_random_walk.h"
+#include "src/baselines/spiral_search.h"
+
+// Extensions
+#include "src/smallworld/greedy_routing.h"
+#include "src/smallworld/kleinberg_grid.h"
+#include "src/torus/torus_walk.h"

@@ -1,0 +1,94 @@
+#include "src/analysis/occupancy.h"
+
+#include <numeric>
+#include <stdexcept>
+
+#include "src/grid/ring.h"
+
+namespace levy::analysis {
+
+flight_occupancy::flight_occupancy(double alpha, std::int64_t radius, std::uint64_t cap)
+    : jumps_(alpha), radius_(radius), cap_(cap), side_(2 * radius + 1) {
+    if (radius < 1 || radius > 64) {
+        throw std::invalid_argument("flight_occupancy: radius must be in [1, 64]");
+    }
+    mass_.assign(static_cast<std::size_t>(side_ * side_), 0.0);
+    scratch_.assign(mass_.size(), 0.0);
+    mass_[index(origin)] = 1.0;
+
+    // Conditional pmf under the cap, for distances relevant to the window
+    // (anything farther than 4R from an in-window node leaks wholesale).
+    const std::int64_t max_d = 4 * radius_;
+    const double cap_mass =
+        cap_ == kNoCap ? 1.0 : 1.0 - jumps_.tail(cap_ + 1);
+    pmf_.assign(static_cast<std::size_t>(max_d) + 1, 0.0);
+    for (std::int64_t d = 0; d <= max_d; ++d) {
+        if (cap_ != kNoCap && static_cast<std::uint64_t>(d) > cap_) break;
+        pmf_[static_cast<std::size_t>(d)] = jumps_.pmf(static_cast<std::uint64_t>(d)) / cap_mass;
+    }
+}
+
+std::size_t flight_occupancy::index(point u) const {
+    return static_cast<std::size_t>((u.y + radius_) * side_ + (u.x + radius_));
+}
+
+double flight_occupancy::in_window_mass() const {
+    return std::accumulate(mass_.begin(), mass_.end(), 0.0);
+}
+
+double flight_occupancy::probability(point u) const {
+    if (!inside(u)) return 0.0;
+    return mass_[index(u)];
+}
+
+void flight_occupancy::step() {
+    std::fill(scratch_.begin(), scratch_.end(), 0.0);
+    const std::int64_t max_d = 4 * radius_;
+    // Mass beyond max_d (or beyond the cap) from any source leaks entirely.
+    double tail_mass = cap_ == kNoCap
+                           ? jumps_.tail(static_cast<std::uint64_t>(max_d) + 1)
+                           : 0.0;
+    if (cap_ != kNoCap && static_cast<std::uint64_t>(max_d) < cap_) {
+        const double cap_mass = 1.0 - jumps_.tail(cap_ + 1);
+        tail_mass = (jumps_.tail(static_cast<std::uint64_t>(max_d) + 1) -
+                     jumps_.tail(cap_ + 1)) /
+                    cap_mass;
+    }
+
+    double leaked = 0.0;
+    for (std::int64_t y = -radius_; y <= radius_; ++y) {
+        for (std::int64_t x = -radius_; x <= radius_; ++x) {
+            const point u{x, y};
+            const double m = mass_[index(u)];
+            if (m < 1e-18) {
+                leaked += m;  // negligible mass: drop it, keep the books exact
+                continue;
+            }
+            scratch_[index(u)] += m * pmf_[0];  // the 1/2 atom at d = 0
+            for (std::int64_t d = 1; d <= max_d; ++d) {
+                const double pd = pmf_[static_cast<std::size_t>(d)];
+                if (pd == 0.0) break;  // beyond the cap
+                const double share = m * pd / static_cast<double>(ring_size(d));
+                for (std::uint64_t j = 0; j < ring_size(d); ++j) {
+                    const point v = ring_node(u, d, j);
+                    if (inside(v)) {
+                        scratch_[index(v)] += share;
+                    } else {
+                        leaked += share;
+                    }
+                }
+            }
+            leaked += m * tail_mass;
+        }
+    }
+    mass_.swap(scratch_);
+    escaped_ += leaked;
+    ++steps_;
+    origin_visits_ += mass_[index(origin)];
+}
+
+void flight_occupancy::advance(std::uint64_t n) {
+    for (std::uint64_t i = 0; i < n; ++i) step();
+}
+
+}  // namespace levy::analysis

@@ -1,0 +1,88 @@
+#include "src/analysis/path_marginal.h"
+
+#include <cmath>
+#include <map>
+#include <stdexcept>
+
+#include "src/grid/ring.h"
+
+namespace levy::analysis {
+namespace {
+
+__extension__ typedef __int128 int128;
+
+// Mirror of direct_path_stepper's decision at state (px, py) of a path with
+// axis budgets (adx, ady), total d: returns -1 for a forced/closer x-step,
+// +1 for y-step, 0 for an exact tie.
+int decide(std::int64_t px, std::int64_t py, std::int64_t adx, std::int64_t ady,
+           std::int64_t d) {
+    if (px == adx) return +1;
+    if (py == ady) return -1;
+    const int128 i1 = px + py + 1;
+    const int128 ex = static_cast<int128>(d) * px - i1 * adx;
+    const int128 ey = static_cast<int128>(d) * py - i1 * ady;
+    if (ex < ey) return -1;
+    if (ey < ex) return +1;
+    return 0;
+}
+
+}  // namespace
+
+std::vector<node_mass> path_node_law(point from, point to, std::int64_t i) {
+    const point delta = to - from;
+    const std::int64_t adx = abs64(delta.x), ady = abs64(delta.y);
+    const std::int64_t d = adx + ady;
+    if (i < 0 || i > d) throw std::invalid_argument("path_node_law: i out of range");
+    const std::int64_t sx = delta.x < 0 ? -1 : 1;
+    const std::int64_t sy = delta.y < 0 ? -1 : 1;
+
+    // DP over (px, py) states; px + py = current step, so a map keyed by px
+    // suffices. Ties split mass in half.
+    std::map<std::int64_t, double> states;  // px -> probability
+    states[0] = 1.0;
+    for (std::int64_t s = 0; s < i; ++s) {
+        std::map<std::int64_t, double> next;
+        for (const auto& [px, p] : states) {
+            const std::int64_t py = s - px;
+            switch (decide(px, py, adx, ady, d)) {
+                case -1: next[px + 1] += p; break;
+                case +1: next[px] += p; break;
+                default:
+                    next[px + 1] += p / 2.0;
+                    next[px] += p / 2.0;
+            }
+        }
+        states.swap(next);
+    }
+    std::vector<node_mass> out;
+    out.reserve(states.size());
+    for (const auto& [px, p] : states) {
+        const std::int64_t py = i - px;
+        out.push_back({{from.x + sx * px, from.y + sy * py}, p});
+    }
+    return out;
+}
+
+std::vector<double> lemma32_marginal(std::int64_t d, std::int64_t i) {
+    if (d < 2 || i < 1 || i >= d) {
+        throw std::invalid_argument("lemma32_marginal: need 1 <= i < d, d >= 2");
+    }
+    std::vector<double> marginal(ring_size(i), 0.0);
+    const double v_weight = 1.0 / static_cast<double>(ring_size(d));
+    for (std::uint64_t j = 0; j < ring_size(d); ++j) {
+        const point v = ring_node(origin, d, j);
+        for (const auto& [node, p] : path_node_law(origin, v, i)) {
+            marginal[ring_index(origin, node)] += v_weight * p;
+        }
+    }
+    return marginal;
+}
+
+lemma32_band lemma32_bounds(std::int64_t d, std::int64_t i) {
+    const double id = static_cast<double>(i) / static_cast<double>(d);
+    const double di = static_cast<double>(d) / static_cast<double>(i);
+    return {id * std::floor(di) / (4.0 * static_cast<double>(i)),
+            id * std::ceil(di) / (4.0 * static_cast<double>(i))};
+}
+
+}  // namespace levy::analysis

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/grid/point.h"
+
+namespace levy::analysis {
+
+/// Exact distributions over direct paths (Def. 3.1), computed by dynamic
+/// programming on the Bresenham decision automaton: the only randomness in
+/// a direct path is the fair bit consumed at each exact tie, so the law of
+/// the i-th node is a small discrete distribution we can enumerate — giving
+/// noise-free verification of Lemma 3.2.
+
+/// One support point of an intermediate-node law.
+struct node_mass {
+    point node;
+    double probability;
+};
+
+/// Exact law of u_i on a uniformly random direct path from `from` to `to`
+/// (fixed endpoints). Requires 0 <= i <= ‖to − from‖₁.
+[[nodiscard]] std::vector<node_mass> path_node_law(point from, point to, std::int64_t i);
+
+/// Exact law of u_i when the destination v is uniform on R_d(0) and the
+/// direct path 0 → v is uniform (the mixture of Lemma 3.2). Returned as
+/// probabilities indexed by ring index on R_i(0) (size 4i). Requires
+/// 1 <= i < d.
+[[nodiscard]] std::vector<double> lemma32_marginal(std::int64_t d, std::int64_t i);
+
+/// The Lemma 3.2 band for given (d, i):
+///   lo = (i/d)·⌊d/i⌋/(4i),   hi = (i/d)·⌈d/i⌉/(4i).
+struct lemma32_band {
+    double lo = 0.0;
+    double hi = 0.0;
+};
+[[nodiscard]] lemma32_band lemma32_bounds(std::int64_t d, std::int64_t i);
+
+}  // namespace levy::analysis

@@ -1,0 +1,39 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "src/grid/direct_path.h"
+#include "src/grid/point.h"
+#include "src/rng/rng_stream.h"
+
+namespace levy::baselines {
+
+/// Straight walk along a uniformly random direction: the behavior the paper
+/// ascribes to the ballistic regime α ∈ (1, 2] ("similar to a straight walk
+/// along a random direction", §1.2.1), and the α → 1 extreme of the ANTS
+/// comparison. The direction is drawn once; the walk then follows direct
+/// paths toward an ever-receding waypoint on that ray.
+class ballistic_walk {
+public:
+    explicit ballistic_walk(rng stream, point start = origin);
+
+    point step();
+
+    [[nodiscard]] point position() const noexcept { return pos_; }
+    [[nodiscard]] std::uint64_t steps() const noexcept { return steps_; }
+
+    /// The chosen direction in radians (for diagnostics).
+    [[nodiscard]] double direction() const noexcept { return theta_; }
+
+private:
+    void arm_segment();
+
+    rng stream_;
+    point pos_;
+    double theta_;
+    std::uint64_t steps_ = 0;
+    std::optional<direct_path_stepper> path_;
+};
+
+}  // namespace levy::baselines

@@ -1,0 +1,63 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "src/baselines/spiral_search.h"
+#include "src/grid/direct_path.h"
+#include "src/grid/point.h"
+#include "src/rng/rng_stream.h"
+
+namespace levy::baselines {
+
+/// A Feinerman–Korman-style ANTS searcher (paper §2): the optimal-strategy
+/// shape from [14], which — unlike the Lévy strategies — *knows k*.
+/// Each agent repeats, with geometrically growing radius r = 2, 4, 8, …:
+///
+///   1. walk a direct path to a uniform node v of B_r(origin);
+///   2. spiral around v for ~ c·r²/k steps (the k agents jointly tile B_r);
+///   3. walk a direct path back to the origin.
+///
+/// With k agents this finds a target at distance ℓ in O(ℓ²/k + ℓ) expected
+/// parallel time — the universal lower bound — so it serves as the oracle
+/// comparator for E9. One `step()` is one lattice move, so targets are
+/// detected on every intermediate node, like the Lévy walk.
+class fk_ants_searcher {
+public:
+    /// `k` is the fleet size the algorithm is tuned for (it determines the
+    /// per-agent spiral share); `spiral_factor` is the constant c above.
+    /// `initial_radius` models the b-bit *advice* of [14]: an oracle hint of
+    /// the distance scale lets the agent skip the useless small epochs and
+    /// start at radius ~ℓ (advice = exact scale) instead of 2 (no advice).
+    /// Epochs still double from there, so a low hint only costs the skipped
+    /// warm-up and an overshooting hint is never fatal.
+    fk_ants_searcher(std::size_t k, rng stream, point start = origin,
+                     double spiral_factor = 2.0, std::int64_t initial_radius = 2);
+
+    point step();
+
+    [[nodiscard]] point position() const noexcept { return pos_; }
+    [[nodiscard]] std::uint64_t steps() const noexcept { return steps_; }
+
+    /// Current epoch radius (diagnostics).
+    [[nodiscard]] std::int64_t radius() const noexcept { return radius_; }
+
+private:
+    enum class phase { outbound, spiral, inbound };
+
+    void begin_epoch();
+
+    std::size_t k_;
+    double spiral_factor_;
+    rng stream_;
+    point home_;
+    point pos_;
+    std::uint64_t steps_ = 0;
+    std::int64_t radius_ = 1;
+    phase phase_ = phase::outbound;
+    std::optional<direct_path_stepper> path_;
+    std::optional<spiral_search> spiral_;
+    std::uint64_t spiral_remaining_ = 0;
+};
+
+}  // namespace levy::baselines

@@ -1,0 +1,9 @@
+#include "src/baselines/simple_random_walk.h"
+
+#include "src/core/jump_process.h"
+
+namespace levy::baselines {
+
+static_assert(jump_process<simple_random_walk>);
+
+}  // namespace levy::baselines

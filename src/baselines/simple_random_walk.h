@@ -1,0 +1,34 @@
+#pragma once
+
+#include <cstdint>
+
+#include "src/grid/point.h"
+#include "src/rng/rng_stream.h"
+
+namespace levy::baselines {
+
+/// Simple (nearest-neighbor) random walk on Z²: each step moves to one of
+/// the four neighbors uniformly. The α → ∞ limit of the Lévy walk (§2) and
+/// the classical diffusive baseline of the ANTS comparison (E9).
+class simple_random_walk {
+public:
+    explicit simple_random_walk(rng stream, point start = origin)
+        : stream_(stream), pos_(start) {}
+
+    point step() {
+        static constexpr point kMoves[4] = {{1, 0}, {-1, 0}, {0, 1}, {0, -1}};
+        pos_ += kMoves[stream_.below(4)];
+        ++steps_;
+        return pos_;
+    }
+
+    [[nodiscard]] point position() const noexcept { return pos_; }
+    [[nodiscard]] std::uint64_t steps() const noexcept { return steps_; }
+
+private:
+    rng stream_;
+    point pos_;
+    std::uint64_t steps_ = 0;
+};
+
+}  // namespace levy::baselines

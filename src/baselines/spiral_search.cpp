@@ -1,0 +1,18 @@
+#include "src/baselines/spiral_search.h"
+
+namespace levy::baselines {
+
+point spiral_search::step() noexcept {
+    static constexpr point kDirs[4] = {{1, 0}, {0, 1}, {-1, 0}, {0, -1}};  // E N W S
+    pos_ += kDirs[heading_];
+    ++steps_;
+    if (--leg_remaining_ == 0) {
+        heading_ = (heading_ + 1) & 3;
+        if (grow_on_turn_) ++leg_length_;
+        grow_on_turn_ = !grow_on_turn_;
+        leg_remaining_ = leg_length_;
+    }
+    return pos_;
+}
+
+}  // namespace levy::baselines

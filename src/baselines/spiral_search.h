@@ -1,0 +1,35 @@
+#pragma once
+
+#include <cstdint>
+
+#include "src/grid/point.h"
+
+namespace levy::baselines {
+
+/// Deterministic square spiral around a center: visits every node of Z²
+/// exactly once, covering the box Q_r(center) within (2r+1)² − 1 steps.
+/// This is the "spiral movement" primitive of the Feinerman–Korman ANTS
+/// algorithms (§2 of the paper) and the within-budget-optimal single-agent
+/// searcher (a single agent cannot beat Θ(ℓ²) — the spiral achieves it).
+class spiral_search {
+public:
+    explicit spiral_search(point center = origin) noexcept : pos_(center) {}
+
+    /// Move to the next node of the spiral.
+    point step() noexcept;
+
+    [[nodiscard]] point position() const noexcept { return pos_; }
+    [[nodiscard]] std::uint64_t steps() const noexcept { return steps_; }
+
+private:
+    point pos_;
+    std::uint64_t steps_ = 0;
+    // Leg automaton: heading cycles E, N, W, S; leg length grows by one
+    // every second turn (E1 N1 W2 S2 E3 N3 …).
+    int heading_ = 0;
+    std::int64_t leg_length_ = 1;
+    std::int64_t leg_remaining_ = 1;
+    bool grow_on_turn_ = false;
+};
+
+}  // namespace levy::baselines

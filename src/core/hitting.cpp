@@ -1,0 +1,17 @@
+#include "src/core/hitting.h"
+
+// hit_within is a template over the jump-process concept; this translation
+// unit exists to give the header a home in the library target and to anchor
+// the explicit instantiations used most often (faster builds for clients).
+
+#include "src/core/levy_flight.h"
+#include "src/core/levy_walk.h"
+
+namespace levy {
+
+template hit_result hit_within<levy_walk, point_target>(levy_walk&, const point_target&,
+                                                        std::uint64_t);
+template hit_result hit_within<levy_flight, point_target>(levy_flight&, const point_target&,
+                                                          std::uint64_t);
+
+}  // namespace levy

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <cstdint>
+
+#include "src/core/jump_process.h"
+#include "src/core/target.h"
+#include "src/grid/point.h"
+
+namespace levy {
+
+/// Outcome of running a process against a step budget (Def. 3.7).
+struct hit_result {
+    bool hit = false;
+    /// Hitting time if hit; otherwise the exhausted budget.
+    std::uint64_t time = 0;
+
+    friend constexpr bool operator==(hit_result, hit_result) noexcept = default;
+};
+
+/// Run `proc` until it visits the target or `budget` time steps elapse.
+/// A process already standing on the target has hitting time 0 (the paper
+/// counts visits from step t = 0).
+template <jump_process P, target_predicate T>
+hit_result hit_within(P& proc, const T& target, std::uint64_t budget) {
+    if (target.contains(proc.position())) return {true, 0};
+    for (std::uint64_t t = 1; t <= budget; ++t) {
+        if (target.contains(proc.step())) return {true, t};
+    }
+    return {false, budget};
+}
+
+/// Single-node convenience overload: τ_α(u*) truncated at `budget`.
+template <jump_process P>
+hit_result hit_within(P& proc, point target, std::uint64_t budget) {
+    return hit_within(proc, point_target{target}, budget);
+}
+
+}  // namespace levy

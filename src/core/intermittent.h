@@ -1,0 +1,39 @@
+#pragma once
+
+#include <concepts>
+#include <cstdint>
+
+#include "src/core/hitting.h"
+#include "src/core/jump_process.h"
+#include "src/core/target.h"
+
+namespace levy {
+
+/// A jump process with observable jump-phase structure (the Lévy walk, its
+/// torus variant, or anything else that alternates travel phases).
+template <class P>
+concept phased_process = jump_process<P> && requires(const P p) {
+    { p.in_phase() } -> std::convertible_to<bool>;
+};
+
+/// Intermittent hitting (the model of [18], discussed in §2 / footnote 3 of
+/// the paper): the searcher *cannot detect the target during a jump*, only
+/// at the end of each jump-phase (and during stay-put phases). Footnote 3
+/// notes the contrast: with unit targets or non-intermittent detection, all
+/// α ≤ 2 (resp. α ≥ 2) are optimal in [18]'s setting, whereas intermittent
+/// detection of diameter-D targets singles out the Cauchy exponent α = 2.
+///
+/// Time is still counted in lattice steps (travel is not free); only the
+/// *sensing* is restricted to phase boundaries.
+template <phased_process P, target_predicate T>
+hit_result hit_within_intermittent(P& proc, const T& target, std::uint64_t budget) {
+    if (target.contains(proc.position())) return {true, 0};
+    for (std::uint64_t t = 1; t <= budget; ++t) {
+        const point p = proc.step();
+        const bool phase_boundary = !proc.in_phase();
+        if (phase_boundary && target.contains(p)) return {true, t};
+    }
+    return {false, budget};
+}
+
+}  // namespace levy

@@ -1,0 +1,27 @@
+#pragma once
+
+#include <concepts>
+#include <cstdint>
+
+#include "src/grid/point.h"
+
+namespace levy {
+
+/// A discrete-time jump process on Z² (paper §3.1): anything that occupies a
+/// lattice node and can advance by one time step. Lévy walks, Lévy flights
+/// and all baselines model this concept, so hitting-time machinery is written
+/// once against it.
+///
+/// `step()` advances the process by exactly one time step and returns the
+/// new position; `steps()` is the number of time steps taken so far. For a
+/// Lévy *walk* one time step is one lattice move (or a stay-put), while for
+/// a Lévy *flight* one time step is one whole jump — exactly the two time
+/// scales Defs. 3.3 and 3.4 assign them.
+template <class P>
+concept jump_process = requires(P p, const P cp) {
+    { p.step() } -> std::convertible_to<point>;
+    { cp.position() } -> std::convertible_to<point>;
+    { cp.steps() } -> std::convertible_to<std::uint64_t>;
+};
+
+}  // namespace levy

@@ -1,0 +1,20 @@
+#include "src/core/levy_flight.h"
+
+#include "src/grid/ring.h"
+
+namespace levy {
+
+levy_flight::levy_flight(double alpha, rng stream, point start, std::uint64_t cap)
+    : jumps_(alpha), stream_(stream), pos_(start), cap_(cap) {}
+
+point levy_flight::step() {
+    const std::uint64_t d = jumps_.sample_capped(stream_, cap_);
+    last_jump_ = d;
+    if (d != 0) {
+        pos_ = sample_ring(pos_, static_cast<std::int64_t>(d), stream_);
+    }
+    ++steps_;
+    return pos_;
+}
+
+}  // namespace levy

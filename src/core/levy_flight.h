@@ -1,0 +1,45 @@
+#pragma once
+
+#include <cstdint>
+
+#include "src/grid/point.h"
+#include "src/rng/jump_distribution.h"
+#include "src/rng/rng_stream.h"
+
+namespace levy {
+
+/// Lévy flight on Z² (Def. 3.3): at each time step, draw a jump length d
+/// from the power law of Eq. 3 and teleport to a uniform node of
+/// R_d(current). A Markov chain, and a monotone radial process in the sense
+/// of Def. 3.8 — the restriction of the Lévy *walk* to its jump endpoints.
+///
+/// An optional jump-length cap conditions every jump on d ≤ cap, which is
+/// exactly the capped flight of Lemma 4.5 (cap = (t log t)^{1/(α-1)}).
+class levy_flight {
+public:
+    /// `stream` becomes this process's private randomness source.
+    levy_flight(double alpha, rng stream, point start = origin, std::uint64_t cap = kNoCap);
+
+    /// Perform one jump (one time step) and return the new position.
+    point step();
+
+    [[nodiscard]] point position() const noexcept { return pos_; }
+    [[nodiscard]] std::uint64_t steps() const noexcept { return steps_; }
+
+    /// Length of the most recent jump (0 before the first step).
+    [[nodiscard]] std::uint64_t last_jump_length() const noexcept { return last_jump_; }
+
+    [[nodiscard]] double alpha() const noexcept { return jumps_.alpha(); }
+    [[nodiscard]] std::uint64_t cap() const noexcept { return cap_; }
+    [[nodiscard]] const jump_distribution& jumps() const noexcept { return jumps_; }
+
+private:
+    jump_distribution jumps_;
+    rng stream_;
+    point pos_;
+    std::uint64_t cap_;
+    std::uint64_t steps_ = 0;
+    std::uint64_t last_jump_ = 0;
+};
+
+}  // namespace levy

@@ -1,0 +1,31 @@
+#include "src/core/levy_walk.h"
+
+#include "src/grid/ring.h"
+
+namespace levy {
+
+levy_walk::levy_walk(double alpha, rng stream, point start, std::uint64_t cap)
+    : jumps_(alpha), stream_(stream), pos_(start), cap_(cap) {}
+
+void levy_walk::begin_phase() {
+    ++phases_;
+    jump_len_ = jumps_.sample_capped(stream_, cap_);
+    if (jump_len_ == 0) {
+        path_.reset();  // stay-put phase: one step at the current node
+        return;
+    }
+    const point destination = sample_ring(pos_, static_cast<std::int64_t>(jump_len_), stream_);
+    path_.emplace(pos_, destination);
+}
+
+point levy_walk::step() {
+    if (!in_phase()) begin_phase();
+    if (path_ && !path_->done()) {
+        pos_ = path_->advance(stream_);
+    }
+    // d = 0 phases leave pos_ unchanged for exactly one step.
+    ++steps_;
+    return pos_;
+}
+
+}  // namespace levy

@@ -1,0 +1,65 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "src/grid/direct_path.h"
+#include "src/grid/point.h"
+#include "src/rng/jump_distribution.h"
+#include "src/rng/rng_stream.h"
+
+namespace levy {
+
+/// Lévy walk on Z² (Def. 3.4): an infinite sequence of jump-phases. At the
+/// start of a phase, draw a jump length d and a uniform destination on
+/// R_d(current) exactly as a Lévy flight would; then
+///   - if d = 0, the phase lasts one step and the walk stays put;
+///   - if d ≥ 1, the phase lasts d steps during which the walk traverses a
+///     uniformly random direct path (Def. 3.1) to the destination.
+///
+/// One `step()` is one unit of time — one lattice move (or stay-put). The
+/// walk therefore visits every intermediate node of a phase, which is what
+/// makes its hitting behavior differ from the flight's ("non-intermittent"
+/// search in the terminology of [18]; footnote 3 of the paper).
+///
+/// The process is not Markov on positions alone; the in-phase progress is
+/// part of the state and is fully encapsulated here.
+class levy_walk {
+public:
+    /// `stream` becomes this walk's private randomness source. `cap`
+    /// conditions every drawn jump length on d ≤ cap (kNoCap = off).
+    levy_walk(double alpha, rng stream, point start = origin, std::uint64_t cap = kNoCap);
+
+    /// Advance one time step and return the new position.
+    point step();
+
+    [[nodiscard]] point position() const noexcept { return pos_; }
+    [[nodiscard]] std::uint64_t steps() const noexcept { return steps_; }
+
+    /// Number of jump-phases begun so far.
+    [[nodiscard]] std::uint64_t phases() const noexcept { return phases_; }
+
+    /// True while a d ≥ 1 phase is mid-traversal.
+    [[nodiscard]] bool in_phase() const noexcept { return path_ && !path_->done(); }
+
+    /// Length of the current (or most recent) phase's jump; 0 if none yet.
+    [[nodiscard]] std::uint64_t current_jump_length() const noexcept { return jump_len_; }
+
+    [[nodiscard]] double alpha() const noexcept { return jumps_.alpha(); }
+    [[nodiscard]] std::uint64_t cap() const noexcept { return cap_; }
+    [[nodiscard]] const jump_distribution& jumps() const noexcept { return jumps_; }
+
+private:
+    void begin_phase();
+
+    jump_distribution jumps_;
+    rng stream_;
+    point pos_;
+    std::uint64_t cap_;
+    std::uint64_t steps_ = 0;
+    std::uint64_t phases_ = 0;
+    std::uint64_t jump_len_ = 0;
+    std::optional<direct_path_stepper> path_;  // engaged during d >= 1 phases
+};
+
+}  // namespace levy

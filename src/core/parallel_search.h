@@ -1,0 +1,50 @@
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "src/core/hitting.h"
+#include "src/core/strategy.h"
+#include "src/core/target.h"
+#include "src/grid/point.h"
+#include "src/rng/jump_distribution.h"
+#include "src/rng/rng_stream.h"
+
+namespace levy {
+
+/// Outcome of one parallel search: k independent Lévy walks started at the
+/// origin, parallel hitting time = first step any walk visits the target
+/// (Def. 3.7).
+struct parallel_result {
+    bool hit = false;
+    /// Parallel hitting time if hit; otherwise the exhausted budget.
+    std::uint64_t time = 0;
+    /// Index of the first walk to hit (kNoWinner when none did).
+    std::size_t winner = kNoWinner;
+    /// Exponent of the winning walk (NaN when none hit).
+    double winner_alpha = std::numeric_limits<double>::quiet_NaN();
+
+    static constexpr std::size_t kNoWinner = std::numeric_limits<std::size_t>::max();
+};
+
+/// Simulate τ^k for a point target: each of the k walks gets an exponent
+/// from `strategy` and a private substream of `trial_stream`, runs for at
+/// most `budget` steps, and the minimum hitting time wins.
+///
+/// Walks are simulated one after another with a shrinking budget (a walk
+/// only needs to beat the best time found so far), which changes nothing
+/// statistically — the walks are independent — but saves most of the work
+/// once an early walk hits. Results are a pure function of
+/// (trial_stream seed, k, strategy, target, budget).
+[[nodiscard]] parallel_result parallel_hit(std::size_t k, const exponent_strategy& strategy,
+                                           point target, std::uint64_t budget, rng trial_stream,
+                                           std::uint64_t cap = kNoCap);
+
+/// The exponents a strategy would assign to walks 0..k-1 under
+/// `trial_stream` — exactly those `parallel_hit` uses. For reporting.
+[[nodiscard]] std::vector<double> strategy_exponents(std::size_t k,
+                                                     const exponent_strategy& strategy,
+                                                     rng trial_stream);
+
+}  // namespace levy

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "src/rng/rng_stream.h"
+
+namespace levy {
+
+/// How a fleet of k walks chooses its exponents. Called once per walk with
+/// the walk's index and a private random stream; returns that walk's α.
+///
+/// The two strategies the paper analyzes:
+///   - `fixed_exponent(a)`  — all walks share one exponent (§1.2.2);
+///   - `uniform_exponent()` — each walk samples α ~ U(2, 3) independently
+///     (§1.2.3), the knowledge-free strategy of Theorem 1.6.
+using exponent_strategy = std::function<double(std::size_t walk_index, rng& g)>;
+
+/// Every walk uses exponent `alpha` (must be > 1).
+[[nodiscard]] exponent_strategy fixed_exponent(double alpha);
+
+/// Each walk draws α independently and uniformly from (lo, hi);
+/// defaults to the paper's super-diffusive interval (2, 3).
+[[nodiscard]] exponent_strategy uniform_exponent(double lo = 2.0, double hi = 3.0);
+
+/// Deterministic diversity (ablation, bench E18): walk i gets the
+/// (i mod levels)-th exponent of an evenly spaced grid inside (lo, hi) —
+/// the derandomized counterpart of `uniform_exponent`. levels >= 1.
+[[nodiscard]] exponent_strategy round_robin_exponent(double lo = 2.0, double hi = 3.0,
+                                                     std::size_t levels = 8);
+
+/// Each walk draws α uniformly from a finite menu (ablation: how few
+/// distinct exponents suffice?). The menu must be non-empty, all > 1.
+[[nodiscard]] exponent_strategy discrete_exponent(std::vector<double> menu);
+
+/// The paper's optimal common exponent α* = 3 − log k / log ℓ (Cor. 4.2),
+/// clamped to [2, 3]: below polylog ℓ walks the diffusive α = 3 is optimal,
+/// above ℓ·polylog walks the ballistic α = 2 is (Thm 1.5 (b), (c)).
+/// Requires k ≥ 1 and ℓ ≥ 2.
+[[nodiscard]] double optimal_alpha(double k, double ell);
+
+/// α* plus the +5·log log ℓ / log ℓ correction of Thm 1.5(a) / Cor. 4.2(a),
+/// the exact exponent the upper-bound theorem is stated for. Clamped to
+/// [2, 3].
+[[nodiscard]] double optimal_alpha_adjusted(double k, double ell);
+
+}  // namespace levy

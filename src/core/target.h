@@ -1,0 +1,51 @@
+#pragma once
+
+#include <concepts>
+#include <unordered_set>
+
+#include "src/grid/point.h"
+
+namespace levy {
+
+/// Anything that can say whether a lattice node is (part of) the treasure.
+template <class T>
+concept target_predicate = requires(const T t, point p) {
+    { t.contains(p) } -> std::convertible_to<bool>;
+};
+
+/// The paper's setting: a single unit-size target node u*.
+struct point_target {
+    point u;
+
+    [[nodiscard]] constexpr bool contains(point p) const noexcept { return p == u; }
+    /// ℓ = ‖u*‖₁, the distance parameter every bound is phrased in.
+    [[nodiscard]] constexpr std::int64_t ell() const noexcept { return l1_norm(u); }
+};
+
+/// Extension (cf. the discussion of [18] in §2): a target of diameter D — an
+/// L1 ball of radius r around a center. r = 0 degenerates to point_target.
+struct disc_target {
+    point center;
+    std::int64_t radius = 0;
+
+    [[nodiscard]] constexpr bool contains(point p) const noexcept {
+        return l1_distance(p, center) <= radius;
+    }
+};
+
+/// An arbitrary finite set of treasure nodes (sparse multi-target searches).
+class set_target {
+public:
+    explicit set_target(std::initializer_list<point> pts) : nodes_(pts) {}
+
+    template <class Iter>
+    set_target(Iter first, Iter last) : nodes_(first, last) {}
+
+    [[nodiscard]] bool contains(point p) const { return nodes_.contains(p); }
+    [[nodiscard]] std::size_t size() const noexcept { return nodes_.size(); }
+
+private:
+    std::unordered_set<point, point_hash> nodes_;
+};
+
+}  // namespace levy

@@ -1,0 +1,34 @@
+#include "src/core/target_field.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "src/rng/splitmix64.h"
+
+namespace levy {
+
+random_target_field::random_target_field(double density, std::uint64_t seed)
+    : density_(density), seed_(seed) {
+    if (!(density > 0.0) || !(density < 1.0)) {
+        throw std::invalid_argument("random_target_field: density must be in (0, 1)");
+    }
+    // hash is uniform on [0, 2^64); the site is a target iff hash < d·2^64.
+    threshold_ = static_cast<std::uint64_t>(
+        density * 18446744073709551616.0 /* 2^64 */);
+}
+
+bool random_target_field::is_target_site(point p) const {
+    const std::uint64_t h =
+        mix64(seed_, mix64(static_cast<std::uint64_t>(p.x), static_cast<std::uint64_t>(p.y)));
+    return h < threshold_;
+}
+
+bool random_target_field::contains(point p) const {
+    return is_target_site(p) && !eaten_.contains(p);
+}
+
+void random_target_field::consume(point p) {
+    if (is_target_site(p)) eaten_.insert(p);
+}
+
+}  // namespace levy

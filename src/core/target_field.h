@@ -1,0 +1,45 @@
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+
+#include "src/grid/point.h"
+
+namespace levy {
+
+/// An infinite field of sparse random point targets: every lattice node is
+/// independently a target with probability `density` (a Bernoulli site
+/// field), decided by a hash of (seed, node) — so the field is deterministic,
+/// memoryless to store, and unbounded, matching the "sparse uniformly
+/// distributed targets" setting of the Lévy foraging hypothesis literature
+/// the paper discusses in §2 ([38]: revisitable targets; destructive
+/// foraging removes a target once found).
+///
+/// Mean spacing between targets is ~ 1/√density.
+class random_target_field {
+public:
+    /// density ∈ (0, 1): per-node target probability.
+    random_target_field(double density, std::uint64_t seed);
+
+    /// Is there a (not-yet-consumed) target at `p`?
+    [[nodiscard]] bool contains(point p) const;
+
+    /// Destructive foraging: consume the target at `p` (no-op if none).
+    /// After consumption, contains(p) is false.
+    void consume(point p);
+
+    /// Number of targets consumed so far.
+    [[nodiscard]] std::size_t consumed() const noexcept { return eaten_.size(); }
+
+    [[nodiscard]] double density() const noexcept { return density_; }
+
+private:
+    [[nodiscard]] bool is_target_site(point p) const;
+
+    double density_;
+    std::uint64_t seed_;
+    std::uint64_t threshold_;  // hash < threshold <=> target site
+    std::unordered_set<point, point_hash> eaten_;
+};
+
+}  // namespace levy

@@ -1,0 +1,74 @@
+#include "src/core/theory.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace levy::theory {
+namespace {
+
+double require_ell(double ell) {
+    if (!(ell >= 2.0)) throw std::invalid_argument("theory: need ell >= 2");
+    return std::log(ell);
+}
+
+}  // namespace
+
+double t_ell(double alpha, double ell) {
+    require_ell(ell);
+    return std::pow(ell, alpha - 1.0);
+}
+
+double superdiffusive_hit_prob(double alpha, double ell) {
+    const double log_ell = require_ell(ell);
+    return 1.0 / (std::pow(ell, 3.0 - alpha) * log_ell * log_ell);
+}
+
+double early_hit_prob(double alpha, double ell, double t) {
+    require_ell(ell);
+    return t * t / std::pow(ell, alpha + 1.0);
+}
+
+double eventual_hit_prob(double alpha, double ell) {
+    const double log_ell = require_ell(ell);
+    return log_ell / std::pow(ell, 3.0 - alpha);
+}
+
+double diffusive_budget(double ell) {
+    const double log_ell = require_ell(ell);
+    return ell * ell * log_ell * log_ell;
+}
+
+double diffusive_hit_prob(double ell) {
+    const double log_ell = require_ell(ell);
+    return 1.0 / std::pow(log_ell, 4.0);
+}
+
+double ballistic_hit_prob(double ell) {
+    const double log_ell = require_ell(ell);
+    return 1.0 / (ell * log_ell);
+}
+
+double ballistic_eventual_hit_prob(double ell) {
+    const double log_ell = require_ell(ell);
+    return log_ell * log_ell / ell;
+}
+
+double optimal_parallel_budget(double k, double ell) {
+    const double log_ell = require_ell(ell);
+    if (!(k >= 1.0)) throw std::invalid_argument("theory: need k >= 1");
+    return (ell * ell / k) * std::pow(log_ell, 6.0) + ell;
+}
+
+double random_strategy_budget(double k, double ell) {
+    const double log_ell = require_ell(ell);
+    if (!(k >= 1.0)) throw std::invalid_argument("theory: need k >= 1");
+    return (ell * ell / k) * std::pow(log_ell, 7.0) + ell * std::pow(log_ell, 3.0);
+}
+
+double universal_lower_bound(double k, double ell) {
+    require_ell(ell);
+    if (!(k >= 1.0)) throw std::invalid_argument("theory: need k >= 1");
+    return ell * ell / k + ell;
+}
+
+}  // namespace levy::theory

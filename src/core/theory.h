@@ -1,0 +1,46 @@
+#pragma once
+
+namespace levy::theory {
+
+/// Closed-form predictions of the paper's theorems, used by the benchmark
+/// harness to print paper-vs-measured columns. Every function returns the
+/// *shape* of a Θ/O/Ω bound with its constant set to 1 — callers compare
+/// scaling exponents and ratios, never absolute values.
+
+/// t_ℓ = ℓ^{α−1}: the step budget that maximizes the super-diffusive hit
+/// probability (§1.2.1; Thm 4.1 uses t = Θ(ℓ^{α−1})).
+[[nodiscard]] double t_ell(double alpha, double ell);
+
+/// Thm 1.1(a): P(τ_α = O(ℓ^{α−1})) = Ω(1 / (ℓ^{3−α} log² ℓ)), α ∈ (2,3).
+[[nodiscard]] double superdiffusive_hit_prob(double alpha, double ell);
+
+/// Thm 1.1(b): P(τ_α ≤ t) = O(t² / ℓ^{α+1}) for ℓ ≤ t = O(ℓ^{α−1}).
+[[nodiscard]] double early_hit_prob(double alpha, double ell, double t);
+
+/// Thm 1.1(c): P(τ_α < ∞) = O(log ℓ / ℓ^{3−α}), α ∈ (2,3).
+[[nodiscard]] double eventual_hit_prob(double alpha, double ell);
+
+/// Thm 1.2(a): the diffusive budget ℓ² log² ℓ that yields Ω(1/log⁴ ℓ).
+[[nodiscard]] double diffusive_budget(double ell);
+
+/// Thm 1.2(a): P(τ_α = O(ℓ² log² ℓ)) = Ω(1 / log⁴ ℓ), α ≥ 3.
+[[nodiscard]] double diffusive_hit_prob(double ell);
+
+/// Thm 1.3(a): P(τ_α = O(ℓ)) = Ω(1 / (ℓ log ℓ)), α ∈ (1,2].
+[[nodiscard]] double ballistic_hit_prob(double ell);
+
+/// Thm 1.3(b): P(τ_α < ∞) = O(log² ℓ / ℓ), α ∈ (1,2].
+[[nodiscard]] double ballistic_eventual_hit_prob(double ell);
+
+/// Thm 1.5(a): the parallel budget O((ℓ²/k) log⁶ ℓ) at α = α*(k,ℓ);
+/// the `+ ℓ` accounts for the regimes of Thm 1.5(b)(c) (Eq. 1).
+[[nodiscard]] double optimal_parallel_budget(double k, double ell);
+
+/// Thm 1.6 (Eq. 2): the random-exponent budget (ℓ²/k) log⁷ ℓ + ℓ log³ ℓ.
+[[nodiscard]] double random_strategy_budget(double k, double ell);
+
+/// The universal lower bound Ω(ℓ²/k + ℓ) that applies to *every* k-agent
+/// strategy (observed in [14]; quoted after Thm 1.6).
+[[nodiscard]] double universal_lower_bound(double k, double ell);
+
+}  // namespace levy::theory

@@ -1,0 +1,24 @@
+#include "src/grid/ball.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace levy {
+
+point sample_ball(point center, std::int64_t d, rng& g) {
+    if (d < 0) throw std::invalid_argument("sample_ball: d must be >= 0");
+    const std::uint64_t j = g.below(ball_size(d));
+    if (j == 0) return center;
+    // Offsets m = j - 1 index the concatenation of rings 1..d; ring r starts
+    // at cumulative offset 2r(r-1) (= 4·(1 + … + (r-1))).
+    const std::uint64_t m = j - 1;
+    auto r = static_cast<std::int64_t>((1.0 + std::sqrt(1.0 + 2.0 * static_cast<double>(m))) / 2.0);
+    // Float round-off can land one ring off; nudge into the exact bracket
+    // 2r(r-1) <= m < 2r(r+1).
+    while (r > 1 && m < static_cast<std::uint64_t>(2 * r * (r - 1))) --r;
+    while (m >= static_cast<std::uint64_t>(2 * r * (r + 1))) ++r;
+    const std::uint64_t offset = m - static_cast<std::uint64_t>(2 * r * (r - 1));
+    return ring_node(center, r, offset);
+}
+
+}  // namespace levy

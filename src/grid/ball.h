@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cstdint>
+
+#include "src/grid/point.h"
+#include "src/grid/ring.h"
+#include "src/rng/rng_stream.h"
+
+namespace levy {
+
+/// The L1 ball B_d(u) = { v : ‖u − v‖₁ ≤ d } and the L∞ box
+/// Q_d(u) = { v : ‖u − v‖∞ ≤ d } (paper Fig. 1, middle and right).
+
+/// |B_d| = 2d² + 2d + 1.
+[[nodiscard]] constexpr std::uint64_t ball_size(std::int64_t d) noexcept {
+    const auto u = static_cast<std::uint64_t>(d);
+    return 2 * u * u + 2 * u + 1;
+}
+
+/// |Q_d| = (2d + 1)².
+[[nodiscard]] constexpr std::uint64_t box_size(std::int64_t d) noexcept {
+    const auto s = static_cast<std::uint64_t>(2 * d + 1);
+    return s * s;
+}
+
+[[nodiscard]] constexpr bool in_ball(point center, std::int64_t d, point v) noexcept {
+    return l1_distance(center, v) <= d;
+}
+
+[[nodiscard]] constexpr bool in_box(point center, std::int64_t d, point v) noexcept {
+    return linf_distance(center, v) <= d;
+}
+
+/// A uniform node of B_d(center): pick a ring with probability proportional
+/// to its size, then a uniform node on it. O(1).
+[[nodiscard]] point sample_ball(point center, std::int64_t d, rng& g);
+
+/// Apply `fn(point)` to every node of B_d(center), ring by ring.
+template <class Fn>
+void for_each_ball_node(point center, std::int64_t d, Fn&& fn) {
+    for (std::int64_t r = 0; r <= d; ++r) for_each_ring_node(center, r, fn);
+}
+
+/// Apply `fn(point)` to every node of Q_d(center), row-major.
+template <class Fn>
+void for_each_box_node(point center, std::int64_t d, Fn&& fn) {
+    for (std::int64_t dy = -d; dy <= d; ++dy) {
+        for (std::int64_t dx = -d; dx <= d; ++dx) {
+            fn(center + point{dx, dy});
+        }
+    }
+}
+
+}  // namespace levy

@@ -1,0 +1,73 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/grid/point.h"
+#include "src/rng/rng_stream.h"
+
+namespace levy {
+
+/// Incremental generator of a uniformly random *direct path* (Def. 3.1,
+/// paper Fig. 2): a shortest lattice path u = u₀, u₁, …, u_d = v such that
+/// each u_i is the node of R_i(u) closest (in L2) to the point w_i of the
+/// real segment uv at L1-parameter i, ties broken uniformly at random.
+///
+/// Implementation: a Bresenham-style stepper. After i steps the current node
+/// p has taken (px, py) unit moves along the two axes (px + py = i); the two
+/// forward neighbors are the only candidates of R_{i+1}(u) adjacent to p,
+/// and comparing their squared L2 distances to w_{i+1} reduces to the exact
+/// integer comparison
+///
+///     d·px − (i+1)·|Δx|   vs   d·py − (i+1)·|Δy|
+///
+/// (the squares cancel; see DESIGN.md). The greedy per-step argmin coincides
+/// with Def. 3.1's per-ring argmin because the error of the chosen node
+/// relative to the segment stays in (−1, 1] — the classic Bresenham
+/// invariant — so the global closest node of R_{i+1} is always one of the
+/// two forward neighbors. Exact ties consume one random bit, which yields
+/// the uniform distribution over all direct paths that Lemma 3.2 assumes
+/// (verified statistically in tests/grid/direct_path_distribution_test.cpp).
+///
+/// The comparison uses 128-bit integers: jump lengths in the ballistic
+/// regime can reach ~2^62, and d·px can then exceed 64 bits, but never 127.
+class direct_path_stepper {
+public:
+    /// Prepare a path from `from` to `to` (equal endpoints give an empty,
+    /// already-done path).
+    direct_path_stepper(point from, point to) noexcept;
+
+    /// True once the destination has been reached.
+    [[nodiscard]] bool done() const noexcept { return px_ + py_ == total_; }
+
+    /// Take one lattice step toward the destination and return the new node.
+    /// Precondition: !done().
+    point advance(rng& g);
+
+    /// Current node u_i.
+    [[nodiscard]] point position() const noexcept {
+        return {from_.x + sx_ * px_, from_.y + sy_ * py_};
+    }
+
+    /// Total path length d = ‖to − from‖₁.
+    [[nodiscard]] std::int64_t length() const noexcept { return total_; }
+
+    /// Steps taken so far (the ring index i of the current node).
+    [[nodiscard]] std::int64_t taken() const noexcept { return px_ + py_; }
+
+    [[nodiscard]] point destination() const noexcept {
+        return {from_.x + sx_ * adx_, from_.y + sy_ * ady_};
+    }
+
+private:
+    point from_;
+    std::int64_t adx_, ady_;  // |Δx|, |Δy|
+    std::int64_t sx_, sy_;    // signs of Δx, Δy (±1; 1 when the delta is 0)
+    std::int64_t total_;      // adx_ + ady_
+    std::int64_t px_ = 0, py_ = 0;  // unit moves taken along each axis
+};
+
+/// Materialize a whole direct path (d+1 nodes, endpoints included).
+[[nodiscard]] std::vector<point> sample_direct_path(point from, point to, rng& g);
+
+}  // namespace levy

@@ -1,0 +1,16 @@
+#include "src/grid/point.h"
+
+#include <cmath>
+#include <ostream>
+
+namespace levy {
+
+double l2_norm(point u) noexcept {
+    return std::hypot(static_cast<double>(u.x), static_cast<double>(u.y));
+}
+
+std::ostream& operator<<(std::ostream& os, point p) {
+    return os << '(' << p.x << ", " << p.y << ')';
+}
+
+}  // namespace levy

@@ -1,0 +1,79 @@
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <functional>
+#include <iosfwd>
+
+namespace levy {
+
+/// A node of the infinite lattice Z² (paper §3.1). 64-bit coordinates: the
+/// ballistic regime draws jump lengths with unbounded mean, so positions can
+/// drift far beyond 32 bits within ordinary step budgets.
+struct point {
+    std::int64_t x = 0;
+    std::int64_t y = 0;
+
+    friend constexpr bool operator==(point, point) noexcept = default;
+
+    friend constexpr point operator+(point a, point b) noexcept { return {a.x + b.x, a.y + b.y}; }
+    friend constexpr point operator-(point a, point b) noexcept { return {a.x - b.x, a.y - b.y}; }
+    constexpr point& operator+=(point b) noexcept { x += b.x; y += b.y; return *this; }
+    constexpr point& operator-=(point b) noexcept { x -= b.x; y -= b.y; return *this; }
+};
+
+/// The origin 0 = (0, 0), the common start node of every walk in the paper.
+inline constexpr point origin{0, 0};
+
+/// |v| for 64-bit lattice coordinates (std::abs is not constexpr in C++20).
+[[nodiscard]] constexpr std::int64_t abs64(std::int64_t v) noexcept {
+    return v < 0 ? -v : v;
+}
+
+/// L1 (Manhattan) norm ‖u‖₁ — the paper's shortest-path distance on Z².
+[[nodiscard]] constexpr std::int64_t l1_norm(point u) noexcept {
+    return abs64(u.x) + abs64(u.y);
+}
+
+/// L∞ norm ‖u‖∞, used by the boxes Q_d and the monotonicity lemma.
+[[nodiscard]] constexpr std::int64_t linf_norm(point u) noexcept {
+    const std::int64_t ax = abs64(u.x), ay = abs64(u.y);
+    return ax > ay ? ax : ay;
+}
+
+/// Squared Euclidean norm ‖u‖₂² (exact in integers).
+[[nodiscard]] constexpr std::int64_t l2_norm_sq(point u) noexcept {
+    return u.x * u.x + u.y * u.y;
+}
+
+[[nodiscard]] constexpr std::int64_t l1_distance(point u, point v) noexcept {
+    return l1_norm(u - v);
+}
+[[nodiscard]] constexpr std::int64_t linf_distance(point u, point v) noexcept {
+    return linf_norm(u - v);
+}
+
+/// Euclidean norm as a double (may round for huge coordinates; fine for
+/// reporting, never used for exact geometric decisions).
+[[nodiscard]] double l2_norm(point u) noexcept;
+
+/// Lattice adjacency: u and v share an edge of the grid graph.
+[[nodiscard]] constexpr bool adjacent(point u, point v) noexcept {
+    return l1_distance(u, v) == 1;
+}
+
+std::ostream& operator<<(std::ostream& os, point p);
+
+/// Hash functor so points can key unordered containers (visit counting).
+struct point_hash {
+    std::size_t operator()(point p) const noexcept {
+        // Two rounds of the SplitMix64 finalizer over the packed coords.
+        std::uint64_t h = static_cast<std::uint64_t>(p.x) * 0x9e3779b97f4a7c15ULL;
+        h ^= static_cast<std::uint64_t>(p.y) + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+        h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        h = (h ^ (h >> 27)) * 0x94d049bb133111ebULL;
+        return static_cast<std::size_t>(h ^ (h >> 31));
+    }
+};
+
+}  // namespace levy

@@ -1,0 +1,45 @@
+#pragma once
+
+#include <cstdint>
+
+#include "src/grid/point.h"
+#include "src/rng/rng_stream.h"
+
+namespace levy {
+
+/// The ring R_d(u) = { v : ‖u − v‖₁ = d } (paper Fig. 1, left).
+///
+/// For d ≥ 1 the ring has exactly 4d nodes; the functions below give a
+/// canonical bijection index ↔ node, which makes uniform sampling — the way
+/// every jump destination is chosen in Defs. 3.3/3.4 — a single bounded
+/// integer draw.
+///
+/// Indexing convention: index j ∈ [0, 4d) splits as side = j / d,
+/// offset = j mod d, walking the diamond counterclockwise from (d, 0):
+///   side 0: (d − o,  o)       side 1: (−o,  d − o)
+///   side 2: (o − d, −o)       side 3: ( o,  o − d)
+
+/// |R_d| — 1 for d = 0, else 4d. (Computed in unsigned space: d can be as
+/// large as a ballistic jump length, where 4d would overflow int64.)
+[[nodiscard]] constexpr std::uint64_t ring_size(std::int64_t d) noexcept {
+    return d == 0 ? 1 : 4 * static_cast<std::uint64_t>(d);
+}
+
+/// The j-th node of R_d(center); requires 0 ≤ j < ring_size(d), d ≥ 0.
+[[nodiscard]] point ring_node(point center, std::int64_t d, std::uint64_t j);
+
+/// Inverse of ring_node: the index of `v` on R_d(center) where
+/// d = ‖v − center‖₁. Requires v ≠ center.
+[[nodiscard]] std::uint64_t ring_index(point center, point v);
+
+/// A uniform node of R_d(center).
+[[nodiscard]] point sample_ring(point center, std::int64_t d, rng& g);
+
+/// Apply `fn(point)` to every node of R_d(center) in index order.
+template <class Fn>
+void for_each_ring_node(point center, std::int64_t d, Fn&& fn) {
+    const std::uint64_t n = ring_size(d);
+    for (std::uint64_t j = 0; j < n; ++j) fn(ring_node(center, d, j));
+}
+
+}  // namespace levy

@@ -1,0 +1,67 @@
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "src/rng/rng_stream.h"
+#include "src/rng/zipf.h"
+
+namespace levy {
+
+/// No jump-length cap (the default for uncapped processes).
+inline constexpr std::uint64_t kNoCap = std::numeric_limits<std::uint64_t>::max();
+
+/// The paper's jump-length law (Eq. 3):
+///
+///     P(d = 0) = 1/2,        P(d = i) = c_α / i^α   for i ≥ 1,
+///
+/// with normalizer c_α = 1 / (2 ζ(α)). Conditioned on d ≥ 1 this is exactly
+/// Zipf(α), so sampling mixes a fair coin with the exact Devroye sampler.
+///
+/// Also exposes the closed-form quantities the analysis uses:
+/// the tail P(d ≥ i) = Θ(1/i^{α-1}) (Eq. 4), the mean (finite iff α > 2),
+/// and capped sampling P(· | d ≤ cap) as needed by the capped Lévy flight
+/// of Lemma 4.5.
+class jump_distribution {
+public:
+    /// α must exceed 1 (Remark 3.5 allows any α ≥ 1 + ε); throws otherwise.
+    explicit jump_distribution(double alpha);
+
+    /// Draw a jump length.
+    [[nodiscard]] std::uint64_t sample(rng& g) const {
+        return g.coin() ? 0 : zipf_(g);
+    }
+
+    /// Draw conditioned on d ≤ cap.
+    [[nodiscard]] std::uint64_t sample_capped(rng& g, std::uint64_t cap) const {
+        if (cap == kNoCap) return sample(g);
+        return g.coin() ? 0 : zipf_.sample_capped(g, cap);
+    }
+
+    /// P(d = i).
+    [[nodiscard]] double pmf(std::uint64_t i) const;
+
+    /// Tail P(d ≥ i). Equals 1 for i = 0.
+    [[nodiscard]] double tail(std::uint64_t i) const;
+
+    /// E[d]; +infinity when α ≤ 2.
+    [[nodiscard]] double mean() const;
+
+    /// E[d | d ≤ cap], the conditional mean the capped processes see.
+    [[nodiscard]] double mean_capped(std::uint64_t cap) const;
+
+    /// Var(d); +infinity when α ≤ 3.
+    [[nodiscard]] double variance() const;
+
+    /// The normalizer c_α = 1/(2 ζ(α)).
+    [[nodiscard]] double normalizer() const noexcept { return c_; }
+
+    [[nodiscard]] double alpha() const noexcept { return alpha_; }
+
+private:
+    double alpha_;
+    double c_;
+    zipf_sampler zipf_;
+};
+
+}  // namespace levy

@@ -1,0 +1,21 @@
+#include "src/rng/rng_stream.h"
+
+namespace levy {
+
+std::uint64_t rng::below(std::uint64_t n) noexcept {
+    // Lemire's nearly-divisionless unbiased bounded generation.
+    std::uint64_t x = engine_();
+    __uint128_t m = static_cast<__uint128_t>(x) * n;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < n) {
+        const std::uint64_t threshold = (0 - n) % n;
+        while (lo < threshold) {
+            x = engine_();
+            m = static_cast<__uint128_t>(x) * n;
+            lo = static_cast<std::uint64_t>(m);
+        }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+}
+
+}  // namespace levy

@@ -1,0 +1,17 @@
+#include "src/rng/splitmix64.h"
+
+namespace levy {
+
+std::uint64_t mix64(std::uint64_t x) noexcept {
+    splitmix64 g(x);
+    return g();
+}
+
+std::uint64_t mix64(std::uint64_t a, std::uint64_t b) noexcept {
+    // Two rounds: diffuse `a` into a full-width key first, then combine with
+    // `b` and mix again. For a fixed `a` this is a bijection in `b`, and the
+    // first mix destroys any low-bit structure that could align across keys.
+    return mix64(mix64(a) ^ b);
+}
+
+}  // namespace levy

@@ -1,0 +1,32 @@
+#include "src/rng/xoshiro256pp.h"
+
+#include "src/rng/splitmix64.h"
+
+namespace levy {
+
+xoshiro256pp::xoshiro256pp(std::uint64_t seed) noexcept {
+    splitmix64 sm(seed);
+    for (auto& word : s_) word = sm();
+}
+
+xoshiro256pp::xoshiro256pp(const std::array<std::uint64_t, 4>& state) noexcept : s_(state) {}
+
+void xoshiro256pp::jump() noexcept {
+    static constexpr std::uint64_t kJump[] = {0x180ec6d33cfd0abaULL, 0xd5a61266f0c9392cULL,
+                                              0xa9582618e03fc9aaULL, 0x39abdc4529b1661cULL};
+    std::uint64_t s0 = 0, s1 = 0, s2 = 0, s3 = 0;
+    for (std::uint64_t word : kJump) {
+        for (int b = 0; b < 64; ++b) {
+            if (word & (1ULL << b)) {
+                s0 ^= s_[0];
+                s1 ^= s_[1];
+                s2 ^= s_[2];
+                s3 ^= s_[3];
+            }
+            (*this)();
+        }
+    }
+    s_ = {s0, s1, s2, s3};
+}
+
+}  // namespace levy

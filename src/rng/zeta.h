@@ -1,0 +1,26 @@
+#pragma once
+
+#include <cstdint>
+
+namespace levy {
+
+/// Evaluation of the Riemann zeta function and the partial/tail sums the
+/// paper's jump distribution needs, for real arguments s > 1.
+///
+/// All evaluations use Euler–Maclaurin summation: a direct sum of the first
+/// N terms plus the integral remainder and Bernoulli-number corrections.
+/// Accuracy is ~1e-12 relative for s in (1.001, 64], which is far more than
+/// the simulations require.
+
+/// Riemann zeta ζ(s) = Σ_{k≥1} k^{-s}. Requires s > 1 (throws otherwise).
+[[nodiscard]] double riemann_zeta(double s);
+
+/// Generalized harmonic number H(n, s) = Σ_{k=1..n} k^{-s}, for n ≥ 0.
+/// Exact direct summation for small n, Euler–Maclaurin for large n.
+[[nodiscard]] double harmonic(std::uint64_t n, double s);
+
+/// Tail sum Σ_{k≥i} k^{-s} for i ≥ 1 and s > 1. Equals ζ(s) - H(i-1, s) but
+/// evaluated directly to avoid cancellation for large i.
+[[nodiscard]] double zeta_tail(std::uint64_t i, double s);
+
+}  // namespace levy

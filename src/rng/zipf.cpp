@@ -1,0 +1,75 @@
+#include "src/rng/zipf.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace levy {
+
+zipf_sampler::zipf_sampler(double alpha) : alpha_(alpha) {
+    if (!(alpha > 1.0)) throw std::invalid_argument("zipf_sampler: alpha must be > 1");
+    inv_alpha_minus_1_ = 1.0 / (alpha - 1.0);
+    const double b = std::exp2(alpha - 1.0);
+    b_minus_1_ = b - 1.0;
+    inv_b_ = 1.0 / b;
+}
+
+std::uint64_t zipf_sampler::operator()(rng& g) const {
+    // Jump lengths are clamped at 2^48: far beyond any step budget the
+    // harness uses (a walk needs 2^48 steps to traverse such a phase), yet
+    // small enough that even ~2^14 consecutive clamped ballistic *flight*
+    // jumps cannot overflow 64-bit lattice coordinates. The clamped mass is
+    // < 2^{-48(α-1)}, i.e. < 2^{-4.8} only in the most extreme α = 1.1 and
+    // astronomically small for α ≥ 1.5.
+    constexpr double kMaxX = 281474976710656.0;  // 2^48
+    for (;;) {
+        const double u = g.uniform_positive();
+        const double v = g.uniform();
+        const double xr = std::floor(std::pow(u, -inv_alpha_minus_1_));
+        const double x = std::min(xr, kMaxX);
+        // T = (1 + 1/X)^{α-1}
+        const double t = std::pow(1.0 + 1.0 / x, alpha_ - 1.0);
+        // Accept iff V·X·(T-1)/(b-1) <= T/b.
+        if (v * x * (t - 1.0) / b_minus_1_ <= t * inv_b_) {
+            return static_cast<std::uint64_t>(x);
+        }
+    }
+}
+
+std::uint64_t zipf_sampler::sample_capped(rng& g, std::uint64_t cap) const {
+    if (cap == 0) throw std::invalid_argument("zipf_sampler: cap must be >= 1");
+    if (cap == 1) return 1;
+    for (;;) {
+        const std::uint64_t x = (*this)(g);
+        if (x <= cap) return x;
+    }
+}
+
+zipf_table_sampler::zipf_table_sampler(double alpha, std::uint64_t cap) {
+    if (!(alpha > 0.0)) throw std::invalid_argument("zipf_table_sampler: alpha must be > 0");
+    if (cap == 0 || cap > (1ULL << 28)) {
+        throw std::invalid_argument("zipf_table_sampler: cap must be in [1, 2^28]");
+    }
+    cdf_.resize(cap);
+    double acc = 0.0;
+    for (std::uint64_t k = 1; k <= cap; ++k) {
+        acc += std::pow(static_cast<double>(k), -alpha);
+        cdf_[k - 1] = acc;
+    }
+    for (auto& c : cdf_) c /= acc;
+    cdf_.back() = 1.0;  // guard against round-off
+}
+
+std::uint64_t zipf_table_sampler::operator()(rng& g) const {
+    const double u = g.uniform();
+    const auto it = std::upper_bound(cdf_.begin(), cdf_.end(), u);
+    return static_cast<std::uint64_t>(it - cdf_.begin()) + 1;
+}
+
+double zipf_table_sampler::pmf(std::uint64_t k) const {
+    if (k < 1 || k > cdf_.size()) return 0.0;
+    const double lo = (k == 1) ? 0.0 : cdf_[k - 2];
+    return cdf_[k - 1] - lo;
+}
+
+}  // namespace levy

@@ -1,0 +1,58 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/rng/rng_stream.h"
+
+namespace levy {
+
+/// Exact sampler for the Zipf (discrete Pareto) law
+///     P(X = k) = k^{-α} / ζ(α),   k = 1, 2, 3, …,  α > 1,
+/// using Devroye's rejection method (Non-Uniform Random Variate Generation,
+/// 1986, ch. X.6): an inversion from the continuous Pareto envelope followed
+/// by a rejection test. Expected number of iterations is < 3 for all α > 1,
+/// and each draw is exact — no truncation or discretization bias.
+///
+/// This is the engine behind the paper's jump-length distribution (Eq. 3);
+/// see `jump_distribution` for the full law including the atom at 0.
+class zipf_sampler {
+public:
+    /// α must be > 1; throws std::invalid_argument otherwise.
+    explicit zipf_sampler(double alpha);
+
+    /// Draw one Zipf(α) variate.
+    [[nodiscard]] std::uint64_t operator()(rng& g) const;
+
+    /// Draw conditioned on X <= cap (cap >= 1), by rejection.
+    [[nodiscard]] std::uint64_t sample_capped(rng& g, std::uint64_t cap) const;
+
+    [[nodiscard]] double alpha() const noexcept { return alpha_; }
+
+private:
+    double alpha_;
+    double inv_alpha_minus_1_;  // 1/(α-1)
+    double b_minus_1_;          // 2^{α-1} - 1
+    double inv_b_;              // 2^{1-α}
+};
+
+/// Reference sampler for Zipf(α) truncated to {1, …, cap}: exact inverse-CDF
+/// over a precomputed table. O(cap) memory, O(log cap) per draw. Used for
+/// small caps and as the ground truth the rejection sampler is tested
+/// against.
+class zipf_table_sampler {
+public:
+    zipf_table_sampler(double alpha, std::uint64_t cap);
+
+    [[nodiscard]] std::uint64_t operator()(rng& g) const;
+
+    /// P(X = k) under the truncated law; 0 outside {1, …, cap}.
+    [[nodiscard]] double pmf(std::uint64_t k) const;
+
+    [[nodiscard]] std::uint64_t cap() const noexcept { return cdf_.size(); }
+
+private:
+    std::vector<double> cdf_;  // cdf_[k-1] = P(X <= k), normalized to cdf_.back() == 1
+};
+
+}  // namespace levy

@@ -1,0 +1,94 @@
+#include "src/sim/experiment.h"
+
+#include <charconv>
+#include <stdexcept>
+#include <string_view>
+
+#include "src/rng/splitmix64.h"
+
+namespace levy::sim {
+namespace {
+
+template <class T>
+T parse_number(std::string_view text, std::string_view flag) {
+    T value{};
+    const auto* begin = text.data();
+    const auto* end = begin + text.size();
+    const auto [ptr, ec] = std::from_chars(begin, end, value);
+    if (ec != std::errc{} || ptr != end) {
+        throw std::invalid_argument("invalid value for --" + std::string(flag) + ": " +
+                                    std::string(text));
+    }
+    return value;
+}
+
+}  // namespace
+
+mc_options run_options::mc(std::size_t default_trials, std::uint64_t salt) const {
+    mc_options opts;
+    opts.trials = trials != 0 ? trials : default_trials;
+    opts.threads = threads;
+    opts.seed = salt == 0 ? seed : mix64(seed, salt);
+    return opts;
+}
+
+run_options parse_run_options(int argc, char** argv) {
+    run_options opts;
+    for (int i = 1; i < argc; ++i) {
+        const std::string_view arg = argv[i];
+        const auto eat = [&](std::string_view flag) -> std::string_view {
+            const std::string_view prefix_eq = flag;
+            if (arg.substr(0, prefix_eq.size()) == prefix_eq &&
+                arg.size() > prefix_eq.size() && arg[prefix_eq.size()] == '=') {
+                return arg.substr(prefix_eq.size() + 1);
+            }
+            return {};
+        };
+        if (auto v = eat("--trials"); !v.empty()) {
+            opts.trials = parse_number<std::size_t>(v, "trials");
+        } else if (auto s = eat("--scale"); !s.empty()) {
+            opts.scale = parse_number<double>(s, "scale");
+        } else if (auto t = eat("--threads"); !t.empty()) {
+            opts.threads = parse_number<unsigned>(t, "threads");
+        } else if (auto x = eat("--seed"); !x.empty()) {
+            opts.seed = parse_number<std::uint64_t>(x, "seed");
+        } else if (auto c = eat("--csv"); !c.empty()) {
+            opts.csv_path = std::string(c);
+        } else if (arg == "--help" || arg == "-h") {
+            throw std::invalid_argument(
+                "usage: [--trials=N] [--scale=S] [--threads=T] [--seed=X] [--csv=PATH]");
+        } else {
+            throw std::invalid_argument("unknown argument: " + std::string(arg));
+        }
+    }
+    if (!(opts.scale > 0.0)) throw std::invalid_argument("--scale must be positive");
+    return opts;
+}
+
+csv_writer::csv_writer(const std::string& path) : out_(path) {
+    if (!out_) throw std::runtime_error("csv_writer: cannot open " + path);
+}
+
+void csv_writer::header(const std::vector<std::string>& cells) { line(cells); }
+void csv_writer::row(const std::vector<std::string>& cells) { line(cells); }
+
+void csv_writer::line(const std::vector<std::string>& cells) {
+    if (!active()) return;
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        if (i != 0) out_ << ',';
+        const std::string& cell = cells[i];
+        if (cell.find_first_of(",\"\n") != std::string::npos) {
+            out_ << '"';
+            for (char ch : cell) {
+                if (ch == '"') out_ << '"';
+                out_ << ch;
+            }
+            out_ << '"';
+        } else {
+            out_ << cell;
+        }
+    }
+    out_ << '\n';
+}
+
+}  // namespace levy::sim

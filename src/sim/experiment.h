@@ -1,0 +1,52 @@
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "src/sim/monte_carlo.h"
+
+namespace levy::sim {
+
+/// Command-line options shared by every bench/example binary:
+///   --trials=N    Monte-Carlo trials per table row (scaled by each bench)
+///   --scale=S     multiplies problem sizes (ℓ grids, budgets); S=1 default
+///   --threads=T   worker threads (0 = hardware concurrency)
+///   --seed=X      master seed
+///   --csv=PATH    also write rows as CSV to PATH
+/// Unknown arguments throw, so typos fail loudly.
+struct run_options {
+    std::size_t trials = 0;  ///< 0 = keep the binary's default
+    double scale = 1.0;
+    unsigned threads = 0;
+    std::uint64_t seed = kDefaultSeed;
+    std::string csv_path;
+
+    /// mc_options with this run's trials (or `default_trials` when the user
+    /// didn't override) and a per-use salt so distinct experiment phases in
+    /// one binary don't share streams.
+    [[nodiscard]] mc_options mc(std::size_t default_trials, std::uint64_t salt = 0) const;
+};
+
+[[nodiscard]] run_options parse_run_options(int argc, char** argv);
+
+/// Minimal CSV writer for experiment rows (RFC-4180 quoting for cells that
+/// need it). A default-constructed writer is inert, so benches can
+/// unconditionally call `row()` whether or not --csv was given.
+class csv_writer {
+public:
+    csv_writer() = default;
+    explicit csv_writer(const std::string& path);
+
+    [[nodiscard]] bool active() const noexcept { return out_.is_open(); }
+
+    void header(const std::vector<std::string>& cells);
+    void row(const std::vector<std::string>& cells);
+
+private:
+    void line(const std::vector<std::string>& cells);
+    std::ofstream out_;
+};
+
+}  // namespace levy::sim

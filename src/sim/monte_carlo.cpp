@@ -1,0 +1,34 @@
+#include "src/sim/monte_carlo.h"
+
+#include <algorithm>
+#include <thread>
+
+namespace levy::sim {
+
+unsigned resolve_threads(unsigned threads) noexcept {
+    if (threads != 0) return threads;
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : hw;
+}
+
+void parallel_for(std::size_t n, unsigned threads, const std::function<void(std::size_t)>& fn) {
+    if (n == 0) return;
+    const unsigned workers =
+        static_cast<unsigned>(std::min<std::size_t>(resolve_threads(threads), n));
+    if (workers <= 1) {
+        for (std::size_t i = 0; i < n; ++i) fn(i);
+        return;
+    }
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (unsigned w = 0; w < workers; ++w) {
+        pool.emplace_back([&, w] {
+            // Strided assignment: trial costs are often monotone in the trial
+            // parameters, so striding balances load better than blocks.
+            for (std::size_t i = w; i < n; i += workers) fn(i);
+        });
+    }
+    for (auto& t : pool) t.join();
+}
+
+}  // namespace levy::sim

@@ -1,0 +1,62 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "src/rng/rng_stream.h"
+#include "src/stats/proportion.h"
+
+namespace levy::sim {
+
+/// Default master seed; every binary that wants different randomness passes
+/// its own (benches expose --seed).
+inline constexpr std::uint64_t kDefaultSeed = 0x5eed'1e17'ca11'ab1eULL;
+
+/// Monte-Carlo driver configuration.
+struct mc_options {
+    std::size_t trials = 1000;
+    /// 0 = use std::thread::hardware_concurrency().
+    unsigned threads = 0;
+    std::uint64_t seed = kDefaultSeed;
+};
+
+/// Run `fn(i)` for i in [0, n) across `threads` worker threads (static
+/// block partition). `fn` must be safe to call concurrently for distinct i.
+void parallel_for(std::size_t n, unsigned threads, const std::function<void(std::size_t)>& fn);
+
+/// Resolve `threads == 0` to the hardware concurrency (at least 1).
+[[nodiscard]] unsigned resolve_threads(unsigned threads) noexcept;
+
+/// Run `opts.trials` independent trials of `trial_fn(trial_index, stream)`
+/// and collect the results in trial order.
+///
+/// Each trial's stream is derived purely from (opts.seed, trial_index), so
+/// the output is bit-identical for any thread count — the property the
+/// reproducibility tests pin down.
+template <class F>
+auto monte_carlo_collect(const mc_options& opts, F&& trial_fn)
+    -> std::vector<decltype(trial_fn(std::size_t{}, std::declval<rng&>()))> {
+    using result_t = decltype(trial_fn(std::size_t{}, std::declval<rng&>()));
+    std::vector<result_t> results(opts.trials);
+    const rng master = rng::seeded(opts.seed);
+    parallel_for(opts.trials, opts.threads, [&](std::size_t i) {
+        rng stream = master.substream(i);
+        results[i] = trial_fn(i, stream);
+    });
+    return results;
+}
+
+/// Estimate P(event) with a Wilson interval: `pred(trial_index, stream)`
+/// decides success per trial.
+template <class F>
+stats::proportion estimate_probability(const mc_options& opts, F&& pred) {
+    const auto outcomes = monte_carlo_collect(opts, [&](std::size_t i, rng& g) {
+        return static_cast<int>(static_cast<bool>(pred(i, g)));
+    });
+    std::uint64_t successes = 0;
+    for (int o : outcomes) successes += static_cast<std::uint64_t>(o);
+    return stats::wilson_interval(successes, opts.trials);
+}
+
+}  // namespace levy::sim

@@ -1,0 +1,16 @@
+#include "src/sim/trajectory.h"
+
+// Templates over the jump-process concept; anchor instantiations for the
+// two core processes so client TUs don't each re-instantiate them.
+
+#include "src/core/levy_flight.h"
+#include "src/core/levy_walk.h"
+
+namespace levy::sim {
+
+template displacement_stats run_displacement<levy_walk>(levy_walk&, std::uint64_t);
+template displacement_stats run_displacement<levy_flight>(levy_flight&, std::uint64_t);
+template std::uint64_t count_visits<levy_walk>(levy_walk&, point, std::uint64_t);
+template std::uint64_t count_visits<levy_flight>(levy_flight&, point, std::uint64_t);
+
+}  // namespace levy::sim

@@ -1,0 +1,84 @@
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/core/jump_process.h"
+#include "src/grid/point.h"
+
+namespace levy::sim {
+
+/// Displacement statistics of a trajectory prefix — the raw material for
+/// the anomalous-diffusion ablation (E13) and the "stays inside a ball of
+/// radius t_ℓ·polylog" ingredient of the paper's §1.2.1 overview.
+struct displacement_stats {
+    std::int64_t final_l1 = 0;   ///< ‖position after t steps‖₁ (from start)
+    std::int64_t max_l1 = 0;     ///< max over the prefix
+    std::uint64_t steps = 0;
+};
+
+/// Run `proc` for `t` steps, tracking L1 displacement from its start node.
+template <jump_process P>
+displacement_stats run_displacement(P& proc, std::uint64_t t) {
+    const point start = proc.position();
+    displacement_stats out;
+    for (std::uint64_t i = 0; i < t; ++i) {
+        const point p = proc.step();
+        const std::int64_t d = l1_distance(p, start);
+        if (d > out.max_l1) out.max_l1 = d;
+    }
+    out.final_l1 = l1_distance(proc.position(), start);
+    out.steps = t;
+    return out;
+}
+
+/// First passage out of the ball B_{r-1}: the first step t at which the
+/// process sits at L1 distance >= r from its start node (the quantity t_i
+/// of Lemma 3.11's proof, with r = λ_i). Returns the budget when the radius
+/// is never reached; `reached` disambiguates.
+struct first_passage_result {
+    bool reached = false;
+    std::uint64_t time = 0;
+};
+
+template <jump_process P>
+first_passage_result first_passage_radius(P& proc, std::int64_t radius, std::uint64_t budget) {
+    const point start = proc.position();
+    if (radius <= 0) return {true, 0};
+    for (std::uint64_t t = 1; t <= budget; ++t) {
+        if (l1_distance(proc.step(), start) >= radius) return {true, t};
+    }
+    return {false, budget};
+}
+
+/// Z_u(t): number of visits to `u` during steps 1..t (Def. in §3.1).
+template <jump_process P>
+std::uint64_t count_visits(P& proc, point u, std::uint64_t t) {
+    std::uint64_t visits = 0;
+    for (std::uint64_t i = 0; i < t; ++i) {
+        if (proc.step() == u) ++visits;
+    }
+    return visits;
+}
+
+/// Full visit census over a trajectory prefix: how many times each node was
+/// occupied during steps 1..t. Memory is O(#distinct nodes) — keep t modest.
+template <jump_process P>
+std::unordered_map<point, std::uint64_t, point_hash> visit_census(P& proc, std::uint64_t t) {
+    std::unordered_map<point, std::uint64_t, point_hash> census;
+    for (std::uint64_t i = 0; i < t; ++i) ++census[proc.step()];
+    return census;
+}
+
+/// Record the positions after steps 1..t (plus the start at index 0).
+template <jump_process P>
+std::vector<point> record_trajectory(P& proc, std::uint64_t t) {
+    std::vector<point> traj;
+    traj.reserve(t + 1);
+    traj.push_back(proc.position());
+    for (std::uint64_t i = 0; i < t; ++i) traj.push_back(proc.step());
+    return traj;
+}
+
+}  // namespace levy::sim

@@ -1,0 +1,51 @@
+#include "src/sim/trial.h"
+
+#include "src/core/levy_flight.h"
+#include "src/core/levy_walk.h"
+
+namespace levy::sim {
+
+hit_result single_walk_trial(const single_walk_config& cfg, rng stream) {
+    levy_walk walk(cfg.alpha, stream, origin, cfg.cap);
+    return hit_within(walk, point_target{target_at(cfg.ell)}, cfg.budget);
+}
+
+stats::proportion single_hit_probability(const single_walk_config& cfg, const mc_options& opts) {
+    return estimate_probability(
+        opts, [&cfg](std::size_t, rng& g) { return single_walk_trial(cfg, g).hit; });
+}
+
+hit_result single_flight_trial(const single_walk_config& cfg, rng stream) {
+    levy_flight flight(cfg.alpha, stream, origin, cfg.cap);
+    return hit_within(flight, point_target{target_at(cfg.ell)}, cfg.budget);
+}
+
+stats::proportion flight_hit_probability(const single_walk_config& cfg, const mc_options& opts) {
+    return estimate_probability(
+        opts, [&cfg](std::size_t, rng& g) { return single_flight_trial(cfg, g).hit; });
+}
+
+parallel_result parallel_walk_trial(const parallel_walk_config& cfg, rng stream) {
+    return parallel_hit(cfg.k, cfg.strategy, target_at(cfg.ell), cfg.budget, stream, cfg.cap);
+}
+
+stats::proportion parallel_hit_probability(const parallel_walk_config& cfg,
+                                           const mc_options& opts) {
+    return estimate_probability(
+        opts, [&cfg](std::size_t, rng& g) { return parallel_walk_trial(cfg, g).hit; });
+}
+
+hitting_time_sample parallel_hitting_times(const parallel_walk_config& cfg,
+                                           const mc_options& opts) {
+    const auto results = monte_carlo_collect(
+        opts, [&cfg](std::size_t, rng& g) { return parallel_walk_trial(cfg, g); });
+    hitting_time_sample out;
+    out.times.reserve(results.size());
+    for (const auto& r : results) {
+        out.times.push_back(static_cast<double>(r.time));
+        out.hits += r.hit ? 1 : 0;
+    }
+    return out;
+}
+
+}  // namespace levy::sim

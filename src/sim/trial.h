@@ -1,0 +1,74 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/hitting.h"
+#include "src/core/parallel_search.h"
+#include "src/core/strategy.h"
+#include "src/grid/point.h"
+#include "src/rng/jump_distribution.h"
+#include "src/sim/monte_carlo.h"
+#include "src/stats/proportion.h"
+#include "src/stats/summary.h"
+
+namespace levy::sim {
+
+/// Canonical target at distance ℓ: u* = (ℓ, 0). The lattice is symmetric
+/// under the dihedral group, so any fixed direction is representative;
+/// tests/integration/symmetry_test.cpp spot-checks that rotations agree.
+[[nodiscard]] constexpr point target_at(std::int64_t ell) noexcept { return {ell, 0}; }
+
+/// --- Single-walk experiments (Theorems 1.1–1.3) -------------------------
+
+struct single_walk_config {
+    double alpha = 2.5;
+    std::int64_t ell = 64;        ///< target distance ‖u*‖₁
+    std::uint64_t budget = 0;     ///< step budget t
+    std::uint64_t cap = kNoCap;   ///< optional jump-length cap
+};
+
+/// One trial: a fresh Lévy walk from the origin vs u* = (ℓ, 0).
+[[nodiscard]] hit_result single_walk_trial(const single_walk_config& cfg, rng stream);
+
+/// Monte-Carlo estimate of P(τ_α(u*) ≤ budget).
+[[nodiscard]] stats::proportion single_hit_probability(const single_walk_config& cfg,
+                                                       const mc_options& opts);
+
+/// Same for a Lévy *flight* (time measured in jumps) — Lemma 4.5 territory.
+[[nodiscard]] hit_result single_flight_trial(const single_walk_config& cfg, rng stream);
+[[nodiscard]] stats::proportion flight_hit_probability(const single_walk_config& cfg,
+                                                       const mc_options& opts);
+
+/// --- Parallel experiments (Theorems 1.5, 1.6) ---------------------------
+
+struct parallel_walk_config {
+    std::size_t k = 16;
+    exponent_strategy strategy = fixed_exponent(2.5);
+    std::int64_t ell = 64;
+    std::uint64_t budget = 0;
+    std::uint64_t cap = kNoCap;
+};
+
+/// One trial of τ^k against u* = (ℓ, 0).
+[[nodiscard]] parallel_result parallel_walk_trial(const parallel_walk_config& cfg, rng stream);
+
+/// Monte-Carlo estimate of P(τ^k ≤ budget).
+[[nodiscard]] stats::proportion parallel_hit_probability(const parallel_walk_config& cfg,
+                                                         const mc_options& opts);
+
+/// Hitting-time sample (misses recorded as the budget) plus the hit count;
+/// the benches report medians/means of this censored sample.
+struct hitting_time_sample {
+    std::vector<double> times;       ///< per-trial τ^k, censored at budget
+    std::uint64_t hits = 0;
+    [[nodiscard]] double hit_fraction() const noexcept {
+        return times.empty() ? 0.0
+                             : static_cast<double>(hits) / static_cast<double>(times.size());
+    }
+};
+
+[[nodiscard]] hitting_time_sample parallel_hitting_times(const parallel_walk_config& cfg,
+                                                         const mc_options& opts);
+
+}  // namespace levy::sim

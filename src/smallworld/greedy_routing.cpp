@@ -1,0 +1,31 @@
+#include "src/smallworld/greedy_routing.h"
+
+namespace levy::smallworld {
+
+routing_result greedy_route(const kleinberg_grid& graph, point s, point t,
+                            std::uint64_t max_hops) {
+    point current = graph.wrap(s);
+    const point goal = graph.wrap(t);
+    routing_result out;
+    while (current != goal && out.hops < max_hops) {
+        point best = current;
+        std::int64_t best_dist = graph.distance(current, goal);
+        for (const point v : graph.grid_neighbors(current)) {
+            const std::int64_t d = graph.distance(v, goal);
+            if (d < best_dist) {
+                best_dist = d;
+                best = v;
+            }
+        }
+        const point lr = graph.contact(current);
+        if (graph.distance(lr, goal) < best_dist) {
+            best = lr;
+        }
+        current = best;
+        ++out.hops;
+    }
+    out.delivered = current == goal;
+    return out;
+}
+
+}  // namespace levy::smallworld

@@ -1,0 +1,23 @@
+#pragma once
+
+#include <cstdint>
+
+#include "src/smallworld/kleinberg_grid.h"
+
+namespace levy::smallworld {
+
+/// Result of one greedy route.
+struct routing_result {
+    bool delivered = false;
+    std::uint64_t hops = 0;
+};
+
+/// Kleinberg's decentralized greedy routing: from `s`, repeatedly forward to
+/// the neighbor (grid or long-range) closest to `t` in torus L1 distance,
+/// until `t` is reached or `max_hops` expire. On the torus a grid neighbor
+/// always strictly decreases the distance, so delivery is guaranteed given
+/// enough hops; `max_hops` only guards pathological budgets.
+[[nodiscard]] routing_result greedy_route(const kleinberg_grid& graph, point s, point t,
+                                          std::uint64_t max_hops);
+
+}  // namespace levy::smallworld

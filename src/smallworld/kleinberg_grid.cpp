@@ -1,0 +1,64 @@
+#include "src/smallworld/kleinberg_grid.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "src/grid/ring.h"
+#include "src/rng/splitmix64.h"
+
+namespace levy::smallworld {
+
+kleinberg_grid::kleinberg_grid(std::int64_t n, double beta, std::uint64_t seed)
+    : n_(n), beta_(beta), seed_(seed) {
+    if (n < 4) throw std::invalid_argument("kleinberg_grid: n must be >= 4");
+    if (!(beta > 0.0)) throw std::invalid_argument("kleinberg_grid: beta must be > 0");
+    distance_cdf_.resize(static_cast<std::size_t>(n - 1));
+    double acc = 0.0;
+    for (std::int64_t d = 1; d < n; ++d) {
+        // One contact at lattice distance d: 4d candidate nodes, each with
+        // weight d^{-β}.
+        acc += 4.0 * static_cast<double>(d) * std::pow(static_cast<double>(d), -beta);
+        distance_cdf_[static_cast<std::size_t>(d - 1)] = acc;
+    }
+    for (auto& c : distance_cdf_) c /= acc;
+    distance_cdf_.back() = 1.0;
+}
+
+std::int64_t kleinberg_grid::distance(point u, point v) const noexcept {
+    const auto axis = [this](std::int64_t a, std::int64_t b) {
+        std::int64_t diff = (a - b) % n_;
+        if (diff < 0) diff += n_;
+        return std::min(diff, n_ - diff);
+    };
+    return axis(u.x, v.x) + axis(u.y, v.y);
+}
+
+point kleinberg_grid::wrap(point u) const noexcept {
+    const auto m = [this](std::int64_t a) {
+        std::int64_t r = a % n_;
+        return r < 0 ? r + n_ : r;
+    };
+    return {m(u.x), m(u.y)};
+}
+
+point kleinberg_grid::contact(point u) const {
+    const point cu = wrap(u);
+    rng g = rng::seeded(mix64(seed_, static_cast<std::uint64_t>(cu.x * n_ + cu.y)));
+    const double r = g.uniform();
+    const auto it = std::upper_bound(distance_cdf_.begin(), distance_cdf_.end(), r);
+    const auto d = static_cast<std::int64_t>(it - distance_cdf_.begin()) + 1;
+    return wrap(sample_ring(cu, d, g));
+}
+
+std::array<point, 4> kleinberg_grid::grid_neighbors(point u) const noexcept {
+    const point cu = wrap(u);
+    return {wrap(cu + point{1, 0}), wrap(cu + point{-1, 0}), wrap(cu + point{0, 1}),
+            wrap(cu + point{0, -1})};
+}
+
+point kleinberg_grid::random_node(rng& g) const {
+    return {g.uniform_int(0, n_ - 1), g.uniform_int(0, n_ - 1)};
+}
+
+}  // namespace levy::smallworld

@@ -1,0 +1,57 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "src/grid/point.h"
+#include "src/rng/rng_stream.h"
+
+namespace levy::smallworld {
+
+/// Kleinberg's small-world lattice (paper §2, [24]): an n×n torus where each
+/// node u has its four grid neighbors plus one long-range contact chosen
+/// with probability proportional to dist(u, v)^{-β}. The paper points out
+/// the structural kinship with Lévy walks — the long-range contact law is
+/// the jump law of a Lévy walk with exponent β − 1 (footnote 4: β = α + d − 1,
+/// d = 2) — and that greedy routing is optimized by exactly one exponent
+/// (β = 2), mirroring the unique optimal α of Corollary 4.2.
+///
+/// Contacts are materialized lazily and deterministically: node u's contact
+/// is a pure function of (graph seed, u), so the graph is consistent across
+/// queries without Θ(n²) memory. Contact distances are drawn from the
+/// Z²-ring law P(d) ∝ 4d·d^{-β} truncated at n−1 and the offset wrapped
+/// onto the torus — the standard simulation practice; for d ≤ n/2 this is
+/// exactly Kleinberg's model, beyond that wrap-around aliases a negligible
+/// mass of far contacts.
+class kleinberg_grid {
+public:
+    /// n ≥ 4, β > 0.
+    kleinberg_grid(std::int64_t n, double beta, std::uint64_t seed);
+
+    [[nodiscard]] std::int64_t n() const noexcept { return n_; }
+    [[nodiscard]] double beta() const noexcept { return beta_; }
+
+    /// Torus L1 distance.
+    [[nodiscard]] std::int64_t distance(point u, point v) const noexcept;
+
+    /// Canonical coordinates in [0, n)².
+    [[nodiscard]] point wrap(point u) const noexcept;
+
+    /// The node's long-range contact (deterministic per node).
+    [[nodiscard]] point contact(point u) const;
+
+    /// Grid neighbors on the torus (always 4).
+    [[nodiscard]] std::array<point, 4> grid_neighbors(point u) const noexcept;
+
+    /// Uniform random node.
+    [[nodiscard]] point random_node(rng& g) const;
+
+private:
+    std::int64_t n_;
+    double beta_;
+    std::uint64_t seed_;
+    std::vector<double> distance_cdf_;  // cdf over contact distance 1..n-1
+};
+
+}  // namespace levy::smallworld

@@ -1,0 +1,34 @@
+#include "src/stats/bootstrap.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+namespace levy::stats {
+
+bootstrap_interval bootstrap_ci(std::span<const double> xs,
+                                const std::function<double(std::span<const double>)>& statistic,
+                                rng& g, std::size_t resamples, double level) {
+    if (xs.empty()) throw std::invalid_argument("bootstrap_ci: empty sample");
+    if (!(level > 0.0 && level < 1.0)) throw std::invalid_argument("bootstrap_ci: bad level");
+    bootstrap_interval out;
+    out.point = statistic(xs);
+    std::vector<double> resample(xs.size());
+    std::vector<double> stats;
+    stats.reserve(resamples);
+    for (std::size_t r = 0; r < resamples; ++r) {
+        for (auto& v : resample) v = xs[g.below(xs.size())];
+        stats.push_back(statistic(resample));
+    }
+    std::sort(stats.begin(), stats.end());
+    const double tail = (1.0 - level) / 2.0;
+    const auto pick = [&](double q) {
+        auto idx = static_cast<std::size_t>(q * static_cast<double>(stats.size() - 1));
+        return stats[std::min(idx, stats.size() - 1)];
+    };
+    out.lo = pick(tail);
+    out.hi = pick(1.0 - tail);
+    return out;
+}
+
+}  // namespace levy::stats

@@ -1,0 +1,25 @@
+#pragma once
+
+#include <functional>
+#include <span>
+
+#include "src/rng/rng_stream.h"
+
+namespace levy::stats {
+
+/// Percentile bootstrap confidence interval for an arbitrary statistic.
+struct bootstrap_interval {
+    double point = 0.0;  ///< statistic on the original sample
+    double lo = 0.0;
+    double hi = 0.0;
+};
+
+/// Resample `xs` with replacement `resamples` times, evaluate `statistic`
+/// on each resample, and return the [ (1-level)/2, (1+level)/2 ] percentile
+/// interval. Deterministic given `g`'s seed.
+[[nodiscard]] bootstrap_interval bootstrap_ci(
+    std::span<const double> xs,
+    const std::function<double(std::span<const double>)>& statistic, rng& g,
+    std::size_t resamples = 1000, double level = 0.95);
+
+}  // namespace levy::stats

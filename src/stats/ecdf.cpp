@@ -1,0 +1,26 @@
+#include "src/stats/ecdf.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace levy::stats {
+
+ecdf::ecdf(std::span<const double> samples) : sorted_(samples.begin(), samples.end()) {
+    if (sorted_.empty()) throw std::invalid_argument("ecdf: empty sample");
+    std::sort(sorted_.begin(), sorted_.end());
+}
+
+double ecdf::operator()(double x) const noexcept {
+    const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+    return static_cast<double>(it - sorted_.begin()) / static_cast<double>(sorted_.size());
+}
+
+double ecdf::quantile(double q) const {
+    if (!(q > 0.0) || q > 1.0) throw std::invalid_argument("ecdf::quantile: q outside (0, 1]");
+    const auto n = static_cast<double>(sorted_.size());
+    const auto idx = static_cast<std::size_t>(std::ceil(q * n)) - 1;
+    return sorted_[std::min(idx, sorted_.size() - 1)];
+}
+
+}  // namespace levy::stats

@@ -1,0 +1,28 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace levy::stats {
+
+/// Empirical cumulative distribution function of a sample. Used to report
+/// hitting-time distributions (e.g. the fraction of trials finished within
+/// a budget) without committing to a parametric form.
+class ecdf {
+public:
+    explicit ecdf(std::span<const double> samples);
+
+    /// F̂(x) = fraction of samples <= x.
+    [[nodiscard]] double operator()(double x) const noexcept;
+
+    /// Smallest sample value v with F̂(v) >= q, q in (0, 1].
+    [[nodiscard]] double quantile(double q) const;
+
+    [[nodiscard]] std::size_t size() const noexcept { return sorted_.size(); }
+    [[nodiscard]] const std::vector<double>& sorted_samples() const noexcept { return sorted_; }
+
+private:
+    std::vector<double> sorted_;
+};
+
+}  // namespace levy::stats

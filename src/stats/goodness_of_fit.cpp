@@ -1,0 +1,132 @@
+#include "src/stats/goodness_of_fit.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace levy::stats {
+namespace {
+
+/// Regularized upper incomplete gamma Q(a, x), by series (x < a+1) or
+/// continued fraction (x >= a+1) — Numerical-Recipes-style, ~1e-12 accuracy.
+double gamma_q(double a, double x) {
+    if (x < 0.0 || a <= 0.0) throw std::invalid_argument("gamma_q: bad arguments");
+    if (x == 0.0) return 1.0;
+    const double gln = std::lgamma(a);
+    if (x < a + 1.0) {
+        // P(a,x) by series, return 1 - P.
+        double ap = a;
+        double sum = 1.0 / a;
+        double del = sum;
+        for (int i = 0; i < 500; ++i) {
+            ap += 1.0;
+            del *= x / ap;
+            sum += del;
+            if (std::abs(del) < std::abs(sum) * 1e-15) break;
+        }
+        return 1.0 - sum * std::exp(-x + a * std::log(x) - gln);
+    }
+    // Q(a,x) by Lentz continued fraction.
+    double b = x + 1.0 - a;
+    double c = 1e300;
+    double d = 1.0 / b;
+    double h = d;
+    for (int i = 1; i < 500; ++i) {
+        const double an = -static_cast<double>(i) * (static_cast<double>(i) - a);
+        b += 2.0;
+        d = an * d + b;
+        if (std::abs(d) < 1e-300) d = 1e-300;
+        c = b + an / c;
+        if (std::abs(c) < 1e-300) c = 1e-300;
+        d = 1.0 / d;
+        const double del = d * c;
+        h *= del;
+        if (std::abs(del - 1.0) < 1e-15) break;
+    }
+    return std::exp(-x + a * std::log(x) - gln) * h;
+}
+
+/// Kolmogorov distribution tail: P(K > x) = 2 Σ_{k≥1} (−1)^{k−1} e^{−2k²x²}.
+double kolmogorov_tail(double x) {
+    if (x <= 0.0) return 1.0;
+    double sum = 0.0;
+    for (int k = 1; k <= 100; ++k) {
+        const double term = 2.0 * std::pow(-1.0, k - 1) * std::exp(-2.0 * k * k * x * x);
+        sum += term;
+        if (std::abs(term) < 1e-12) break;
+    }
+    return std::clamp(sum, 0.0, 1.0);
+}
+
+}  // namespace
+
+double ks_statistic(std::span<const double> a, std::span<const double> b) {
+    if (a.empty() || b.empty()) throw std::invalid_argument("ks_statistic: empty sample");
+    std::vector<double> sa(a.begin(), a.end()), sb(b.begin(), b.end());
+    std::sort(sa.begin(), sa.end());
+    std::sort(sb.begin(), sb.end());
+    double d = 0.0;
+    std::size_t i = 0, j = 0;
+    const auto na = static_cast<double>(sa.size()), nb = static_cast<double>(sb.size());
+    while (i < sa.size() && j < sb.size()) {
+        const double x = std::min(sa[i], sb[j]);
+        while (i < sa.size() && sa[i] <= x) ++i;
+        while (j < sb.size() && sb[j] <= x) ++j;
+        d = std::max(d, std::abs(static_cast<double>(i) / na - static_cast<double>(j) / nb));
+    }
+    return d;
+}
+
+double ks_p_value(std::span<const double> a, std::span<const double> b) {
+    const double d = ks_statistic(a, b);
+    const auto na = static_cast<double>(a.size()), nb = static_cast<double>(b.size());
+    const double en = std::sqrt(na * nb / (na + nb));
+    // Stephens' small-sample correction.
+    return kolmogorov_tail((en + 0.12 + 0.11 / en) * d);
+}
+
+chi_square_result chi_square_test(std::span<const std::uint64_t> observed,
+                                  std::span<const double> expected_probs,
+                                  std::uint64_t total_count) {
+    if (observed.size() != expected_probs.size()) {
+        throw std::invalid_argument("chi_square_test: size mismatch");
+    }
+    if (observed.empty() || total_count == 0) {
+        throw std::invalid_argument("chi_square_test: empty input");
+    }
+    double stat = 0.0;
+    double prob_mass = 0.0;
+    std::uint64_t counted = 0;
+    for (std::size_t c = 0; c < observed.size(); ++c) {
+        const double expected = expected_probs[c] * static_cast<double>(total_count);
+        if (expected <= 0.0) {
+            throw std::invalid_argument("chi_square_test: nonpositive expected cell");
+        }
+        const double diff = static_cast<double>(observed[c]) - expected;
+        stat += diff * diff / expected;
+        prob_mass += expected_probs[c];
+        counted += observed[c];
+    }
+    std::size_t cells = observed.size();
+    // Pool the leftover (overflow) cell if the listed cells don't exhaust
+    // the distribution.
+    const double leftover_prob = 1.0 - prob_mass;
+    if (leftover_prob > 1e-12) {
+        const double expected = leftover_prob * static_cast<double>(total_count);
+        const double diff = static_cast<double>(total_count - counted) - expected;
+        stat += diff * diff / expected;
+        ++cells;
+    }
+    chi_square_result out;
+    out.statistic = stat;
+    out.degrees_of_freedom = cells - 1;
+    out.p_value = chi_square_upper_tail(stat, out.degrees_of_freedom);
+    return out;
+}
+
+double chi_square_upper_tail(double x, std::size_t df) {
+    if (df == 0) throw std::invalid_argument("chi_square_upper_tail: df must be >= 1");
+    return gamma_q(static_cast<double>(df) / 2.0, x / 2.0);
+}
+
+}  // namespace levy::stats

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace levy::stats {
+
+/// Goodness-of-fit machinery used by the distribution tests: two-sample
+/// Kolmogorov–Smirnov (are a walk's phase endpoints distributed like a
+/// flight's steps?) and Pearson chi-square against exact pmfs (is the
+/// sampler producing Eq. 3?).
+
+/// Two-sample KS statistic D = sup_x |F̂₁(x) − F̂₂(x)|.
+[[nodiscard]] double ks_statistic(std::span<const double> a, std::span<const double> b);
+
+/// Asymptotic two-sample KS p-value (Kolmogorov distribution of
+/// D·√(n·m/(n+m))); accurate for samples ≳ 50.
+[[nodiscard]] double ks_p_value(std::span<const double> a, std::span<const double> b);
+
+/// Pearson chi-square statistic for observed counts vs expected
+/// probabilities (which must sum to ≤ 1; leftover mass is pooled into an
+/// implicit overflow cell together with leftover counts).
+struct chi_square_result {
+    double statistic = 0.0;
+    std::size_t degrees_of_freedom = 0;
+    double p_value = 0.0;  ///< upper tail of chi²_{df}
+};
+
+[[nodiscard]] chi_square_result chi_square_test(std::span<const std::uint64_t> observed,
+                                                std::span<const double> expected_probs,
+                                                std::uint64_t total_count);
+
+/// Upper-tail probability of the chi-square distribution with `df` degrees
+/// of freedom (regularized incomplete gamma Q(df/2, x/2)).
+[[nodiscard]] double chi_square_upper_tail(double x, std::size_t df);
+
+}  // namespace levy::stats

@@ -1,0 +1,51 @@
+#include "src/stats/histogram.h"
+
+#include <bit>
+#include <stdexcept>
+
+namespace levy::stats {
+
+histogram::histogram(double lo, double hi, std::size_t bins) : lo_(lo) {
+    if (!(hi > lo)) throw std::invalid_argument("histogram: need hi > lo");
+    if (bins == 0) throw std::invalid_argument("histogram: need at least one bin");
+    width_ = (hi - lo) / static_cast<double>(bins);
+    counts_.assign(bins, 0);
+}
+
+void histogram::add(double x) noexcept {
+    ++total_;
+    if (x < lo_) {
+        ++underflow_;
+        return;
+    }
+    const double rel = (x - lo_) / width_;
+    if (rel >= static_cast<double>(counts_.size())) {
+        ++overflow_;
+        return;
+    }
+    ++counts_[static_cast<std::size_t>(rel)];
+}
+
+double histogram::edge(std::size_t bin) const {
+    if (bin > counts_.size()) throw std::out_of_range("histogram::edge");
+    return lo_ + width_ * static_cast<double>(bin);
+}
+
+double histogram::density(std::size_t bin) const {
+    const std::uint64_t in_range = total_ - underflow_ - overflow_;
+    if (in_range == 0) return 0.0;
+    return static_cast<double>(count(bin)) / static_cast<double>(in_range);
+}
+
+void log2_histogram::add(std::uint64_t x) noexcept {
+    ++total_;
+    if (x == 0) {
+        ++zeros_;
+        return;
+    }
+    const auto bucket = static_cast<std::size_t>(std::bit_width(x) - 1);
+    if (bucket >= counts_.size()) counts_.resize(bucket + 1, 0);
+    ++counts_[bucket];
+}
+
+}  // namespace levy::stats

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace levy::stats {
+
+/// Fixed-width histogram over [lo, hi); out-of-range samples are counted in
+/// underflow/overflow buckets rather than dropped.
+class histogram {
+public:
+    histogram(double lo, double hi, std::size_t bins);
+
+    void add(double x) noexcept;
+
+    [[nodiscard]] std::size_t bins() const noexcept { return counts_.size(); }
+    [[nodiscard]] std::uint64_t count(std::size_t bin) const { return counts_.at(bin); }
+    [[nodiscard]] std::uint64_t underflow() const noexcept { return underflow_; }
+    [[nodiscard]] std::uint64_t overflow() const noexcept { return overflow_; }
+    [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+    /// Left edge of a bin.
+    [[nodiscard]] double edge(std::size_t bin) const;
+    /// Fraction of in-range mass in a bin.
+    [[nodiscard]] double density(std::size_t bin) const;
+
+private:
+    double lo_, width_;
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t underflow_ = 0, overflow_ = 0, total_ = 0;
+};
+
+/// Power-of-two bucketed histogram for heavy-tailed positive integers (jump
+/// lengths, hitting times): bucket b holds values in [2^b, 2^{b+1}).
+class log2_histogram {
+public:
+    void add(std::uint64_t x) noexcept;
+
+    /// Number of occupied leading buckets (highest seen + 1).
+    [[nodiscard]] std::size_t buckets() const noexcept { return counts_.size(); }
+    [[nodiscard]] std::uint64_t count(std::size_t bucket) const noexcept {
+        return bucket < counts_.size() ? counts_[bucket] : 0;
+    }
+    [[nodiscard]] std::uint64_t zeros() const noexcept { return zeros_; }
+    [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+
+private:
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t zeros_ = 0, total_ = 0;
+};
+
+}  // namespace levy::stats

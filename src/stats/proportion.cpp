@@ -1,0 +1,26 @@
+#include "src/stats/proportion.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace levy::stats {
+
+proportion wilson_interval(std::uint64_t successes, std::uint64_t trials, double z) {
+    if (trials == 0) throw std::invalid_argument("wilson_interval: trials must be >= 1");
+    if (successes > trials) throw std::invalid_argument("wilson_interval: successes > trials");
+    const double n = static_cast<double>(trials);
+    const double p = static_cast<double>(successes) / n;
+    const double z2 = z * z;
+    const double denom = 1.0 + z2 / n;
+    const double center = (p + z2 / (2.0 * n)) / denom;
+    const double half = (z / denom) * std::sqrt(p * (1.0 - p) / n + z2 / (4.0 * n * n));
+    proportion out;
+    out.successes = successes;
+    out.trials = trials;
+    out.lo = std::max(0.0, center - half);
+    out.hi = std::min(1.0, center + half);
+    return out;
+}
+
+}  // namespace levy::stats

@@ -1,0 +1,27 @@
+#pragma once
+
+#include <cstdint>
+
+namespace levy::stats {
+
+/// Estimate of a success probability with a Wilson score confidence
+/// interval. The experiments measure many small hitting probabilities
+/// (down to ~1/ℓ for the largest ℓ), where the Wilson interval stays valid
+/// while the normal approximation collapses.
+struct proportion {
+    std::uint64_t successes = 0;
+    std::uint64_t trials = 0;
+    double lo = 0.0;      ///< lower Wilson bound
+    double hi = 0.0;      ///< upper Wilson bound
+
+    [[nodiscard]] double estimate() const noexcept {
+        return trials == 0 ? 0.0 : static_cast<double>(successes) / static_cast<double>(trials);
+    }
+};
+
+/// Wilson score interval at `z` standard normal quantiles (default ~95%).
+/// Requires trials >= 1.
+[[nodiscard]] proportion wilson_interval(std::uint64_t successes, std::uint64_t trials,
+                                         double z = 1.96);
+
+}  // namespace levy::stats

@@ -1,0 +1,48 @@
+#include "src/stats/regression.h"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace levy::stats {
+
+linear_fit_result linear_fit(std::span<const double> xs, std::span<const double> ys) {
+    if (xs.size() != ys.size()) throw std::invalid_argument("linear_fit: size mismatch");
+    const auto n = static_cast<double>(xs.size());
+    if (xs.size() < 2) throw std::invalid_argument("linear_fit: need at least two points");
+    double sx = 0, sy = 0;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        sx += xs[i];
+        sy += ys[i];
+    }
+    const double mx = sx / n, my = sy / n;
+    double sxx = 0, sxy = 0, syy = 0;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        const double dx = xs[i] - mx, dy = ys[i] - my;
+        sxx += dx * dx;
+        sxy += dx * dy;
+        syy += dy * dy;
+    }
+    if (sxx == 0.0) throw std::invalid_argument("linear_fit: x values are all equal");
+    linear_fit_result out;
+    out.slope = sxy / sxx;
+    out.intercept = my - out.slope * mx;
+    out.r_squared = (syy == 0.0) ? 1.0 : (sxy * sxy) / (sxx * syy);
+    return out;
+}
+
+linear_fit_result loglog_fit(std::span<const double> xs, std::span<const double> ys) {
+    if (xs.size() != ys.size()) throw std::invalid_argument("loglog_fit: size mismatch");
+    std::vector<double> lx, ly;
+    lx.reserve(xs.size());
+    ly.reserve(ys.size());
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        if (xs[i] > 0.0 && ys[i] > 0.0) {
+            lx.push_back(std::log(xs[i]));
+            ly.push_back(std::log(ys[i]));
+        }
+    }
+    return linear_fit(lx, ly);
+}
+
+}  // namespace levy::stats

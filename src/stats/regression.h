@@ -1,0 +1,27 @@
+#pragma once
+
+#include <span>
+
+namespace levy::stats {
+
+/// Ordinary least-squares line fit y ≈ slope·x + intercept.
+///
+/// The experiments' main inferential tool: every Θ(ℓ^c) statement in the
+/// paper is validated by regressing log(measurement) on log(ℓ) and comparing
+/// the fitted slope to the predicted exponent c.
+struct linear_fit_result {
+    double slope = 0.0;
+    double intercept = 0.0;
+    double r_squared = 0.0;  ///< coefficient of determination
+};
+
+/// Fit on raw coordinates. Requires at least two points with distinct x.
+[[nodiscard]] linear_fit_result linear_fit(std::span<const double> xs,
+                                           std::span<const double> ys);
+
+/// Fit on (log x, log y): the slope is the empirical scaling exponent.
+/// Points with x <= 0 or y <= 0 are skipped; requires two usable points.
+[[nodiscard]] linear_fit_result loglog_fit(std::span<const double> xs,
+                                           std::span<const double> ys);
+
+}  // namespace levy::stats

@@ -1,0 +1,79 @@
+#include "src/stats/summary.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace levy::stats {
+
+void running_summary::add(double x) noexcept {
+    if (n_ == 0) {
+        min_ = max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+}
+
+double running_summary::variance() const noexcept {
+    return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_ - 1);
+}
+
+double running_summary::stddev() const noexcept { return std::sqrt(variance()); }
+
+double running_summary::std_error() const noexcept {
+    return n_ == 0 ? 0.0 : stddev() / std::sqrt(static_cast<double>(n_));
+}
+
+running_summary& running_summary::merge(const running_summary& other) noexcept {
+    if (other.n_ == 0) return *this;
+    if (n_ == 0) {
+        *this = other;
+        return *this;
+    }
+    const auto na = static_cast<double>(n_), nb = static_cast<double>(other.n_);
+    const double delta = other.mean_ - mean_;
+    const double total = na + nb;
+    mean_ += delta * nb / total;
+    m2_ += other.m2_ + delta * delta * na * nb / total;
+    n_ += other.n_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+    return *this;
+}
+
+running_summary summarize(std::span<const double> xs) noexcept {
+    running_summary s;
+    for (double x : xs) s.add(x);
+    return s;
+}
+
+double quantile(std::span<const double> xs, double q) {
+    const double single[] = {q};
+    return quantiles(xs, single)[0];
+}
+
+std::vector<double> quantiles(std::span<const double> xs, std::span<const double> qs) {
+    if (xs.empty()) throw std::invalid_argument("quantile: empty sample");
+    std::vector<double> sorted(xs.begin(), xs.end());
+    std::sort(sorted.begin(), sorted.end());
+    std::vector<double> out;
+    out.reserve(qs.size());
+    for (double q : qs) {
+        if (q < 0.0 || q > 1.0) throw std::invalid_argument("quantile: q outside [0, 1]");
+        const double pos = q * static_cast<double>(sorted.size() - 1);
+        const auto lo = static_cast<std::size_t>(pos);
+        const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+        const double frac = pos - static_cast<double>(lo);
+        out.push_back(sorted[lo] + frac * (sorted[hi] - sorted[lo]));
+    }
+    return out;
+}
+
+double median(std::span<const double> xs) { return quantile(xs, 0.5); }
+
+}  // namespace levy::stats

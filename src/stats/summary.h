@@ -1,0 +1,52 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace levy::stats {
+
+/// Streaming moments accumulator (Welford's algorithm): numerically stable
+/// mean/variance plus extrema, in O(1) memory. The workhorse every
+/// experiment uses to aggregate per-trial measurements.
+class running_summary {
+public:
+    void add(double x) noexcept;
+
+    [[nodiscard]] std::size_t count() const noexcept { return n_; }
+    [[nodiscard]] double mean() const noexcept { return mean_; }
+    /// Unbiased sample variance; 0 for fewer than two samples.
+    [[nodiscard]] double variance() const noexcept;
+    [[nodiscard]] double stddev() const noexcept;
+    /// Standard error of the mean.
+    [[nodiscard]] double std_error() const noexcept;
+    [[nodiscard]] double min() const noexcept { return min_; }
+    [[nodiscard]] double max() const noexcept { return max_; }
+    [[nodiscard]] double sum() const noexcept { return mean_ * static_cast<double>(n_); }
+
+    /// Merge another accumulator (parallel reduction; Chan et al. update).
+    running_summary& merge(const running_summary& other) noexcept;
+
+private:
+    std::size_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/// One-shot summary of a sample.
+[[nodiscard]] running_summary summarize(std::span<const double> xs) noexcept;
+
+/// The q-quantile (q in [0, 1]) of a sample, linear interpolation between
+/// order statistics. Sorts a copy; throws on an empty sample.
+[[nodiscard]] double quantile(std::span<const double> xs, double q);
+
+/// Several quantiles at once (one sort).
+[[nodiscard]] std::vector<double> quantiles(std::span<const double> xs,
+                                            std::span<const double> qs);
+
+/// Median shorthand.
+[[nodiscard]] double median(std::span<const double> xs);
+
+}  // namespace levy::stats

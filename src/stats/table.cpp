@@ -1,0 +1,76 @@
+#include "src/stats/table.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace levy::stats {
+
+text_table::text_table(std::vector<std::string> header) : header_(std::move(header)) {
+    if (header_.empty()) throw std::invalid_argument("text_table: empty header");
+}
+
+void text_table::add_row(std::vector<std::string> cells) {
+    if (cells.size() != header_.size()) {
+        throw std::invalid_argument("text_table: row width does not match header");
+    }
+    rows_.push_back({std::move(cells)});
+}
+
+void text_table::add_separator() { rows_.push_back({}); }
+
+std::size_t text_table::rows() const noexcept { return rows_.size(); }
+
+void text_table::print(std::ostream& os) const {
+    std::vector<std::size_t> width(header_.size());
+    for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+    for (const auto& r : rows_) {
+        for (std::size_t c = 0; c < r.cells.size(); ++c) {
+            width[c] = std::max(width[c], r.cells[c].size());
+        }
+    }
+    const auto print_line = [&] {
+        os << '+';
+        for (std::size_t w : width) os << std::string(w + 2, '-') << '+';
+        os << '\n';
+    };
+    const auto print_cells = [&](const std::vector<std::string>& cells) {
+        os << '|';
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            os << ' ' << std::setw(static_cast<int>(width[c])) << std::right << cells[c] << " |";
+        }
+        os << '\n';
+    };
+    print_line();
+    print_cells(header_);
+    print_line();
+    for (const auto& r : rows_) {
+        if (r.cells.empty()) {
+            print_line();
+        } else {
+            print_cells(r.cells);
+        }
+    }
+    print_line();
+}
+
+std::string fmt(double v, int precision) {
+    std::ostringstream ss;
+    ss << std::fixed << std::setprecision(precision) << v;
+    return ss.str();
+}
+
+std::string fmt_pm(double value, double half_width, int precision) {
+    return fmt(value, precision) + " ± " + fmt(half_width, precision);
+}
+
+std::string fmt_sci(double v, int precision) {
+    std::ostringstream ss;
+    ss << std::scientific << std::setprecision(precision) << v;
+    return ss.str();
+}
+
+}  // namespace levy::stats

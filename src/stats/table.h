@@ -1,0 +1,51 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+namespace levy::stats {
+
+/// Fixed-width ASCII table writer. Every benchmark binary prints its
+/// paper-vs-measured rows through this, so all experiment output has one
+/// consistent, diffable format.
+///
+///     text_table t({"ell", "alpha", "P(hit)", "predicted"});
+///     t.add_row({fmt(64), fmt(2.5), fmt(0.123), fmt(0.2)});
+///     t.print(std::cout);
+class text_table {
+public:
+    explicit text_table(std::vector<std::string> header);
+
+    /// Append a row; must have exactly as many cells as the header.
+    void add_row(std::vector<std::string> cells);
+
+    /// Append a horizontal separator line.
+    void add_separator();
+
+    [[nodiscard]] std::size_t rows() const noexcept;
+
+    void print(std::ostream& os) const;
+
+private:
+    struct row {
+        std::vector<std::string> cells;  // empty => separator
+    };
+    std::vector<std::string> header_;
+    std::vector<row> rows_;
+};
+
+/// Formatting helpers for table cells.
+[[nodiscard]] std::string fmt(double v, int precision = 4);
+template <class Int>
+    requires std::is_integral_v<Int>
+[[nodiscard]] std::string fmt(Int v) {
+    return std::to_string(v);
+}
+/// "a ± b" convenience.
+[[nodiscard]] std::string fmt_pm(double value, double half_width, int precision = 4);
+/// Scientific notation.
+[[nodiscard]] std::string fmt_sci(double v, int precision = 3);
+
+}  // namespace levy::stats

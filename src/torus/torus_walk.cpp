@@ -1,0 +1,43 @@
+#include "src/torus/torus_walk.h"
+
+#include <stdexcept>
+
+namespace levy::torus {
+
+torus_geometry::torus_geometry(std::int64_t n) : n_(n) {
+    if (n < 4) throw std::invalid_argument("torus_geometry: n must be >= 4");
+}
+
+point torus_geometry::wrap(point u) const noexcept {
+    const auto m = [this](std::int64_t a) {
+        std::int64_t r = a % n_;
+        return r < 0 ? r + n_ : r;
+    };
+    return {m(u.x), m(u.y)};
+}
+
+std::int64_t torus_geometry::distance(point u, point v) const noexcept {
+    const auto axis = [this](std::int64_t a, std::int64_t b) {
+        std::int64_t diff = (a - b) % n_;
+        if (diff < 0) diff += n_;
+        return diff < n_ - diff ? diff : n_ - diff;
+    };
+    return axis(u.x, v.x) + axis(u.y, v.y);
+}
+
+point torus_geometry::random_node(rng& g) const {
+    return {g.uniform_int(0, n_ - 1), g.uniform_int(0, n_ - 1)};
+}
+
+torus_levy_walk::torus_levy_walk(double alpha, rng stream, const torus_geometry& geometry,
+                                 point start)
+    : geometry_(geometry),
+      walk_(alpha, stream, geometry.wrap(start),
+            static_cast<std::uint64_t>(geometry.n() / 2)) {}
+
+point torus_levy_walk::step() {
+    walk_.step();
+    return position();
+}
+
+}  // namespace levy::torus

@@ -1,0 +1,73 @@
+#pragma once
+
+#include <cstdint>
+
+#include "src/core/levy_walk.h"
+#include "src/grid/point.h"
+#include "src/rng/rng_stream.h"
+
+namespace levy::torus {
+
+/// Geometry of the n×n torus (the search domain of [18], discussed in §2):
+/// coordinates live in [0, n)², distances are wrap-around L1.
+class torus_geometry {
+public:
+    explicit torus_geometry(std::int64_t n);
+
+    [[nodiscard]] std::int64_t n() const noexcept { return n_; }
+    [[nodiscard]] std::uint64_t area() const noexcept {
+        return static_cast<std::uint64_t>(n_) * static_cast<std::uint64_t>(n_);
+    }
+
+    [[nodiscard]] point wrap(point u) const noexcept;
+    [[nodiscard]] std::int64_t distance(point u, point v) const noexcept;
+
+    /// Uniform random node.
+    [[nodiscard]] point random_node(rng& g) const;
+
+private:
+    std::int64_t n_;
+};
+
+/// A Lévy walk living on the n×n torus: the walk itself runs on Z² exactly
+/// as in Def. 3.4 (same jump law, same direct paths), with jump lengths
+/// capped at n/2 so a single phase cannot lap the torus; reported positions
+/// are wrapped. This is the search process of [18]'s setting — pair it with
+/// `hit_within_intermittent` and a `disc_target` measured in torus distance
+/// to reproduce that model (bench E19).
+class torus_levy_walk {
+public:
+    torus_levy_walk(double alpha, rng stream, const torus_geometry& geometry,
+                    point start = origin);
+
+    /// One lattice step; returns the wrapped position.
+    point step();
+
+    [[nodiscard]] point position() const noexcept { return geometry_.wrap(walk_.position()); }
+    [[nodiscard]] std::uint64_t steps() const noexcept { return walk_.steps(); }
+    [[nodiscard]] bool in_phase() const noexcept { return walk_.in_phase(); }
+    [[nodiscard]] std::uint64_t phases() const noexcept { return walk_.phases(); }
+
+    /// The underlying unbounded Z² position (diagnostics).
+    [[nodiscard]] point unwrapped() const noexcept { return walk_.position(); }
+
+    [[nodiscard]] double alpha() const noexcept { return walk_.alpha(); }
+
+private:
+    torus_geometry geometry_;
+    levy_walk walk_;
+};
+
+/// A target disc on the torus: all nodes within wrap-around L1 distance
+/// `radius` of `center` (diameter D = 2·radius + 1, the D of [18]).
+struct torus_disc_target {
+    torus_geometry geometry;
+    point center;
+    std::int64_t radius = 0;
+
+    [[nodiscard]] bool contains(point p) const noexcept {
+        return geometry.distance(p, center) <= radius;
+    }
+};
+
+}  // namespace levy::torus

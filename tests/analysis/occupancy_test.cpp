@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/analysis/occupancy.h"
+#include "src/grid/ring.h"
+#include "src/core/levy_flight.h"
+#include "src/sim/monte_carlo.h"
+
+namespace levy::analysis {
+namespace {
+
+TEST(FlightOccupancy, StartsConcentratedAtOrigin) {
+    flight_occupancy occ(2.5, 8);
+    EXPECT_DOUBLE_EQ(occ.probability(origin), 1.0);
+    EXPECT_DOUBLE_EQ(occ.escaped(), 0.0);
+    EXPECT_EQ(occ.steps(), 0u);
+}
+
+TEST(FlightOccupancy, MassIsConservedExactly) {
+    flight_occupancy occ(2.2, 10);
+    for (int t = 1; t <= 5; ++t) {
+        occ.step();
+        EXPECT_NEAR(occ.in_window_mass() + occ.escaped(), 1.0, 1e-12) << "t=" << t;
+    }
+}
+
+TEST(FlightOccupancy, OneStepMatchesJumpKernelExactly) {
+    // After one step: P(origin) = 1/2, P(ring-d node) = pmf(d)/(4d).
+    flight_occupancy occ(2.5, 12);
+    occ.step();
+    const jump_distribution jd(2.5);
+    EXPECT_NEAR(occ.probability(origin), 0.5, 1e-14);
+    for (std::int64_t d = 1; d <= 6; ++d) {
+        const double expected = jd.pmf(static_cast<std::uint64_t>(d)) /
+                                static_cast<double>(ring_size(d));
+        EXPECT_NEAR(occ.probability({d, 0}), expected, 1e-14) << "d=" << d;
+        EXPECT_NEAR(occ.probability({0, -d}), expected, 1e-14) << "d=" << d;
+        // Non-corner ring node.
+        if (d >= 2) {
+            EXPECT_NEAR(occ.probability({d - 1, 1}), expected, 1e-14) << "d=" << d;
+        }
+    }
+}
+
+TEST(FlightOccupancy, DihedralSymmetryHolds) {
+    flight_occupancy occ(2.3, 8);
+    occ.advance(3);
+    for (std::int64_t x = 0; x <= 8; ++x) {
+        for (std::int64_t y = 0; y <= x; ++y) {
+            // Summation order differs between symmetric nodes, so equality
+            // holds only up to accumulated rounding (~1e-15 per term).
+            const double p = occ.probability({x, y});
+            EXPECT_NEAR(occ.probability({y, x}), p, 1e-12);
+            EXPECT_NEAR(occ.probability({-x, y}), p, 1e-12);
+            EXPECT_NEAR(occ.probability({x, -y}), p, 1e-12);
+            EXPECT_NEAR(occ.probability({-x, -y}), p, 1e-12);
+        }
+    }
+}
+
+TEST(FlightOccupancy, MonotonicityLemmaHoldsExactly) {
+    // Lemma 3.9, verified without Monte-Carlo noise: for every pair with
+    // ‖v‖∞ ≥ ‖u‖₁ inside a window where truncation loss is far below the
+    // probability gap.
+    flight_occupancy occ(2.2, 16);
+    occ.advance(4);
+    const double slack = occ.escaped();  // worst-case truncation distortion
+    int comparable = 0;
+    for (std::int64_t ux = -5; ux <= 5; ++ux) {
+        for (std::int64_t uy = -5; uy <= 5; ++uy) {
+            for (std::int64_t vx = -8; vx <= 8; ++vx) {
+                for (std::int64_t vy = -8; vy <= 8; ++vy) {
+                    const point u{ux, uy}, v{vx, vy};
+                    if (u == v || linf_norm(v) < l1_norm(u)) continue;
+                    ++comparable;
+                    ASSERT_GE(occ.probability(u) + slack, occ.probability(v))
+                        << "u=(" << ux << "," << uy << ") v=(" << vx << "," << vy << ")";
+                }
+            }
+        }
+    }
+    EXPECT_GT(comparable, 1000);
+}
+
+TEST(FlightOccupancy, AgreesWithMonteCarlo) {
+    const double alpha = 2.5;
+    flight_occupancy occ(alpha, 12);
+    occ.advance(3);
+    const std::size_t trials = 400000;
+    const auto hits = sim::monte_carlo_collect(
+        {.trials = trials, .threads = 0, .seed = 99}, [&](std::size_t, rng& g) {
+            levy_flight f(alpha, g);
+            for (int i = 0; i < 3; ++i) f.step();
+            return f.position();
+        });
+    for (const point probe : {point{0, 0}, point{1, 0}, point{2, 2}, point{0, 5}}) {
+        std::uint64_t count = 0;
+        for (const point p : hits) count += (p == probe);
+        const double mc = static_cast<double>(count) / static_cast<double>(trials);
+        const double exact = occ.probability(probe);
+        const double sigma = std::sqrt(exact / static_cast<double>(trials)) + 1e-9;
+        EXPECT_NEAR(mc, exact, 5.0 * sigma + occ.escaped())
+            << "probe (" << probe.x << "," << probe.y << ")";
+    }
+}
+
+TEST(FlightOccupancy, CapChangesKernel) {
+    flight_occupancy uncapped(2.5, 10);
+    flight_occupancy capped(2.5, 10, /*cap=*/2);
+    uncapped.step();
+    capped.step();
+    // With the cap, the conditional pmf is renormalized upward.
+    EXPECT_GT(capped.probability({1, 0}), uncapped.probability({1, 0}));
+    // And nothing lands beyond the cap.
+    EXPECT_DOUBLE_EQ(capped.probability({3, 0}), 0.0);
+}
+
+TEST(FlightOccupancy, OriginVisitAccumulatorMatchesLemma413Scale) {
+    // a_t(α) stays small and bounded for α in the middle of (2,3).
+    flight_occupancy occ(2.5, 24);
+    occ.advance(12);
+    EXPECT_GT(occ.expected_origin_visits(), 0.5);
+    EXPECT_LT(occ.expected_origin_visits(), 4.0);
+    EXPECT_LT(occ.escaped(), 0.2);
+}
+
+TEST(FlightOccupancy, RejectsBadRadius) {
+    EXPECT_THROW(flight_occupancy(2.5, 0), std::invalid_argument);
+    EXPECT_THROW(flight_occupancy(2.5, 100), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace levy::analysis

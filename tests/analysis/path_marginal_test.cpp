@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "src/analysis/path_marginal.h"
+#include "src/grid/direct_path.h"
+#include "src/grid/ring.h"
+#include "src/rng/rng_stream.h"
+
+namespace levy::analysis {
+namespace {
+
+TEST(PathNodeLaw, EndpointsAreDeterministic) {
+    const auto start = path_node_law({2, 3}, {7, 6}, 0);
+    ASSERT_EQ(start.size(), 1u);
+    EXPECT_EQ(start[0].node, (point{2, 3}));
+    EXPECT_DOUBLE_EQ(start[0].probability, 1.0);
+
+    const auto end = path_node_law({2, 3}, {7, 6}, 8);
+    ASSERT_EQ(end.size(), 1u);
+    EXPECT_EQ(end[0].node, (point{7, 6}));
+    EXPECT_DOUBLE_EQ(end[0].probability, 1.0);
+}
+
+TEST(PathNodeLaw, MassSumsToOne) {
+    for (std::int64_t i = 0; i <= 12; ++i) {
+        double total = 0.0;
+        for (const auto& [node, p] : path_node_law({0, 0}, {7, 5}, i)) {
+            EXPECT_EQ(l1_norm(node), i);  // u_i ∈ R_i
+            total += p;
+        }
+        EXPECT_NEAR(total, 1.0, 1e-12) << "i=" << i;
+    }
+}
+
+TEST(PathNodeLaw, DiagonalFirstStepIsFairTie) {
+    const auto law = path_node_law({0, 0}, {1, 1}, 1);
+    ASSERT_EQ(law.size(), 2u);
+    std::map<std::pair<std::int64_t, std::int64_t>, double> m;
+    for (const auto& [node, p] : law) m[{node.x, node.y}] = p;
+    EXPECT_DOUBLE_EQ((m[{1, 0}]), 0.5);
+    EXPECT_DOUBLE_EQ((m[{0, 1}]), 0.5);
+}
+
+TEST(PathNodeLaw, AxisPathIsDeterministic) {
+    for (std::int64_t i = 0; i <= 6; ++i) {
+        const auto law = path_node_law({0, 0}, {0, -6}, i);
+        ASSERT_EQ(law.size(), 1u);
+        EXPECT_EQ(law[0].node, (point{0, -i}));
+    }
+}
+
+TEST(PathNodeLaw, MatchesStepperEmpirically) {
+    // The DP must reproduce the stepper's actual sampling distribution.
+    const point to{5, 3};
+    const std::int64_t i = 4;
+    const int n = 200000;
+    rng g = rng::seeded(0xd1ce);
+    std::map<std::pair<std::int64_t, std::int64_t>, int> counts;
+    for (int trial = 0; trial < n; ++trial) {
+        direct_path_stepper s(origin, to);
+        point u = origin;
+        for (std::int64_t step = 0; step < i; ++step) u = s.advance(g);
+        ++counts[{u.x, u.y}];
+    }
+    for (const auto& [node, p] : path_node_law(origin, to, i)) {
+        const double observed =
+            static_cast<double>(counts[{node.x, node.y}]) / static_cast<double>(n);
+        const double sigma = std::sqrt(p * (1.0 - p) / n);
+        EXPECT_NEAR(observed, p, 5.0 * sigma + 1e-9)
+            << "node (" << node.x << "," << node.y << ")";
+    }
+}
+
+TEST(Lemma32Marginal, ExactlyUniformWhenIDividesD) {
+    // For i | d the Lemma 3.2 band collapses: P(u_i = w) = 1/(4i) exactly.
+    for (const auto& [d, i] : {std::pair<std::int64_t, std::int64_t>{12, 3},
+                              {12, 4}, {12, 6}, {10, 5}, {8, 2}}) {
+        const auto marginal = lemma32_marginal(d, i);
+        const double uniform = 1.0 / static_cast<double>(ring_size(i));
+        for (std::size_t j = 0; j < marginal.size(); ++j) {
+            EXPECT_NEAR(marginal[j], uniform, 1e-12) << "d=" << d << " i=" << i << " j=" << j;
+        }
+    }
+}
+
+TEST(Lemma32Marginal, ExactLawStaysInsideTheBand) {
+    // The lemma verified EXACTLY — no statistics: every ring node's mass is
+    // within [(i/d)⌊d/i⌋/4i, (i/d)⌈d/i⌉/4i].
+    for (const std::int64_t d : {9L, 12L, 13L, 17L}) {
+        for (std::int64_t i = 1; i < d; ++i) {
+            const auto marginal = lemma32_marginal(d, i);
+            const auto band = lemma32_bounds(d, i);
+            for (std::size_t j = 0; j < marginal.size(); ++j) {
+                ASSERT_GE(marginal[j], band.lo - 1e-12)
+                    << "d=" << d << " i=" << i << " j=" << j;
+                ASSERT_LE(marginal[j], band.hi + 1e-12)
+                    << "d=" << d << " i=" << i << " j=" << j;
+            }
+        }
+    }
+}
+
+TEST(Lemma32Marginal, TotalsOne) {
+    const auto marginal = lemma32_marginal(11, 7);
+    double sum = 0.0;
+    for (const double p : marginal) sum += p;
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(Lemma32Marginal, RejectsBadArguments) {
+    EXPECT_THROW(lemma32_marginal(5, 0), std::invalid_argument);
+    EXPECT_THROW(lemma32_marginal(5, 5), std::invalid_argument);
+    EXPECT_THROW(lemma32_marginal(1, 1), std::invalid_argument);
+    EXPECT_THROW(path_node_law(origin, {3, 3}, 7), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace levy::analysis

@@ -1,0 +1,61 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "src/baselines/ballistic_walk.h"
+
+namespace levy::baselines {
+namespace {
+
+TEST(BallisticWalk, EveryStepIsUnit) {
+    ballistic_walk w(rng::seeded(1));
+    point prev = w.position();
+    for (int i = 0; i < 5000; ++i) {
+        const point next = w.step();
+        ASSERT_EQ(l1_distance(prev, next), 1);
+        prev = next;
+    }
+}
+
+TEST(BallisticWalk, DisplacementIsExactlyLinear) {
+    // While on its first (astronomically long) segment, the walk's L1
+    // displacement equals its step count: every step makes progress.
+    ballistic_walk w(rng::seeded(2));
+    for (int t = 1; t <= 3000; ++t) {
+        w.step();
+        ASSERT_EQ(l1_norm(w.position()), t);
+    }
+}
+
+TEST(BallisticWalk, FollowsItsAngle) {
+    ballistic_walk w(rng::seeded(3));
+    const double theta = w.direction();
+    for (int i = 0; i < 10000; ++i) w.step();
+    const double gx = std::cos(theta), gy = std::sin(theta);
+    const double expected_l1 = 10000.0 / (std::abs(gx) + std::abs(gy));
+    EXPECT_NEAR(static_cast<double>(w.position().x), expected_l1 * gx, 5.0);
+    EXPECT_NEAR(static_cast<double>(w.position().y), expected_l1 * gy, 5.0);
+}
+
+TEST(BallisticWalk, AnglesVaryAcrossSeeds) {
+    const double a = ballistic_walk(rng::seeded(4)).direction();
+    const double b = ballistic_walk(rng::seeded(5)).direction();
+    EXPECT_NE(a, b);
+    EXPECT_GE(a, 0.0);
+    EXPECT_LT(a, 2.0 * std::numbers::pi);
+}
+
+TEST(BallisticWalk, DeterministicGivenSeed) {
+    ballistic_walk a(rng::seeded(6)), b(rng::seeded(6));
+    for (int i = 0; i < 1000; ++i) ASSERT_EQ(a.step(), b.step());
+}
+
+TEST(BallisticWalk, StepCounterAdvances) {
+    ballistic_walk w(rng::seeded(7));
+    for (int i = 0; i < 100; ++i) w.step();
+    EXPECT_EQ(w.steps(), 100u);
+}
+
+}  // namespace
+}  // namespace levy::baselines

@@ -1,0 +1,71 @@
+#include <gtest/gtest.h>
+
+#include "src/baselines/fk_ants.h"
+#include "src/core/hitting.h"
+
+namespace levy::baselines {
+namespace {
+
+TEST(FkAnts, EveryStepIsAtMostUnit) {
+    fk_ants_searcher a(4, rng::seeded(1));
+    point prev = a.position();
+    for (int i = 0; i < 50000; ++i) {
+        const point next = a.step();
+        ASSERT_LE(l1_distance(prev, next), 1);
+        prev = next;
+    }
+    EXPECT_EQ(a.steps(), 50000u);
+}
+
+TEST(FkAnts, RadiusDoubles) {
+    fk_ants_searcher a(1, rng::seeded(2));
+    std::int64_t prev_radius = a.radius();
+    EXPECT_EQ(prev_radius, 2);  // first epoch: 1 → 2
+    // Run long enough for several epochs.
+    for (int i = 0; i < 300000 && a.radius() < 32; ++i) a.step();
+    EXPECT_GE(a.radius(), 32);
+}
+
+TEST(FkAnts, FindsCloseTargetQuickly) {
+    // A target at distance 3 lies inside the first epochs' spirals; with the
+    // searcher tuned for k=1 it must be found within a few epoch lengths.
+    int hits = 0;
+    for (std::uint64_t seed = 0; seed < 20; ++seed) {
+        fk_ants_searcher a(1, rng::seeded(seed));
+        hits += hit_within(a, point{3, 0}, 5000).hit;
+    }
+    EXPECT_GE(hits, 15);
+}
+
+TEST(FkAnts, DeterministicGivenSeed) {
+    fk_ants_searcher a(3, rng::seeded(4)), b(3, rng::seeded(4));
+    for (int i = 0; i < 10000; ++i) ASSERT_EQ(a.step(), b.step());
+}
+
+TEST(FkAnts, LargerFleetsSpiralLessPerEpoch) {
+    // A k=64 searcher owes the fleet a 64× smaller spiral share per epoch,
+    // so it burns through epochs (radius doublings) in far fewer steps than
+    // a lone searcher once the quadratic share dominates the 4r floor.
+    const auto steps_to_radius = [](std::size_t k, std::int64_t target_radius) {
+        fk_ants_searcher a(k, rng::seeded(5));
+        int i = 0;
+        while (a.radius() < target_radius && i < 5000000) {
+            a.step();
+            ++i;
+        }
+        return i;
+    };
+    const int big_fleet = steps_to_radius(64, 64);
+    const int small_fleet = steps_to_radius(1, 64);
+    ASSERT_LT(big_fleet, 5000000);
+    ASSERT_LT(small_fleet, 5000000);
+    EXPECT_LT(big_fleet, small_fleet / 2);
+}
+
+TEST(FkAnts, RejectsBadArguments) {
+    EXPECT_THROW(fk_ants_searcher(0, rng::seeded(6)), std::invalid_argument);
+    EXPECT_THROW(fk_ants_searcher(1, rng::seeded(7), origin, 0.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace levy::baselines

@@ -1,0 +1,63 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "src/baselines/simple_random_walk.h"
+#include "src/grid/ring.h"
+
+namespace levy::baselines {
+namespace {
+
+TEST(SimpleRandomWalk, EveryStepIsUnit) {
+    simple_random_walk w(rng::seeded(1));
+    point prev = w.position();
+    for (int i = 0; i < 10000; ++i) {
+        const point next = w.step();
+        ASSERT_EQ(l1_distance(prev, next), 1);
+        prev = next;
+    }
+    EXPECT_EQ(w.steps(), 10000u);
+}
+
+TEST(SimpleRandomWalk, DirectionsAreUniform) {
+    simple_random_walk w(rng::seeded(2));
+    std::map<std::uint64_t, int> counts;
+    point prev = w.position();
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) {
+        const point next = w.step();
+        ++counts[ring_index(prev, next)];
+        prev = next;
+    }
+    for (std::uint64_t j = 0; j < 4; ++j) {
+        EXPECT_NEAR(static_cast<double>(counts[j]) / n, 0.25, 0.01) << "dir " << j;
+    }
+}
+
+TEST(SimpleRandomWalk, MeanSquaredDisplacementIsLinear) {
+    // E‖X_t‖₂² = t exactly for the SRW on Z².
+    const std::uint64_t t = 2000;
+    const int trials = 300;
+    double msd = 0.0;
+    for (int i = 0; i < trials; ++i) {
+        simple_random_walk w(rng::seeded(100 + static_cast<std::uint64_t>(i)));
+        for (std::uint64_t s = 0; s < t; ++s) w.step();
+        msd += static_cast<double>(l2_norm_sq(w.position()));
+    }
+    msd /= trials;
+    EXPECT_NEAR(msd / static_cast<double>(t), 1.0, 0.15);
+}
+
+TEST(SimpleRandomWalk, DeterministicGivenSeed) {
+    simple_random_walk a(rng::seeded(3)), b(rng::seeded(3));
+    for (int i = 0; i < 1000; ++i) ASSERT_EQ(a.step(), b.step());
+}
+
+TEST(SimpleRandomWalk, StartsWhereTold) {
+    simple_random_walk w(rng::seeded(4), {7, -7});
+    EXPECT_EQ(w.position(), (point{7, -7}));
+}
+
+}  // namespace
+}  // namespace levy::baselines

@@ -1,0 +1,71 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/baselines/spiral_search.h"
+#include "src/grid/ball.h"
+
+namespace levy::baselines {
+namespace {
+
+TEST(SpiralSearch, FirstFewSteps) {
+    spiral_search s;
+    EXPECT_EQ(s.step(), (point{1, 0}));   // E
+    EXPECT_EQ(s.step(), (point{1, 1}));   // N
+    EXPECT_EQ(s.step(), (point{0, 1}));   // W
+    EXPECT_EQ(s.step(), (point{-1, 1}));  // W
+    EXPECT_EQ(s.step(), (point{-1, 0}));  // S
+    EXPECT_EQ(s.step(), (point{-1, -1})); // S
+}
+
+TEST(SpiralSearch, NeverRevisitsANode) {
+    spiral_search s;
+    std::set<std::pair<std::int64_t, std::int64_t>> seen;
+    seen.insert({0, 0});
+    for (int i = 0; i < 20000; ++i) {
+        const point p = s.step();
+        ASSERT_TRUE(seen.insert({p.x, p.y}).second) << "revisited " << p.x << "," << p.y;
+    }
+}
+
+TEST(SpiralSearch, EveryStepIsUnit) {
+    spiral_search s({4, 4});
+    point prev = s.position();
+    for (int i = 0; i < 5000; ++i) {
+        const point next = s.step();
+        ASSERT_EQ(l1_distance(prev, next), 1);
+        prev = next;
+    }
+}
+
+class SpiralCoverage : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(SpiralCoverage, CoversBoxWithinItsArea) {
+    // Q_r has (2r+1)² nodes; the spiral visits all of them within
+    // (2r+1)² − 1 steps of leaving the center.
+    const std::int64_t r = GetParam();
+    spiral_search s;
+    std::set<std::pair<std::int64_t, std::int64_t>> seen;
+    seen.insert({0, 0});
+    const std::uint64_t steps = box_size(r) - 1;
+    for (std::uint64_t i = 0; i < steps; ++i) {
+        const point p = s.step();
+        ASSERT_TRUE(in_box(origin, r, p)) << "left Q_" << r << " early";
+        seen.insert({p.x, p.y});
+    }
+    EXPECT_EQ(seen.size(), box_size(r));
+}
+
+INSTANTIATE_TEST_SUITE_P(Radii, SpiralCoverage, ::testing::Values<std::int64_t>(1, 2, 3, 7, 15));
+
+TEST(SpiralSearch, CenteredSpiralsAreTranslates) {
+    spiral_search a, b({10, -3});
+    for (int i = 0; i < 1000; ++i) {
+        const point pa = a.step();
+        const point pb = b.step();
+        EXPECT_EQ(pa + (point{10, -3}), pb);
+    }
+}
+
+}  // namespace
+}  // namespace levy::baselines

@@ -1,0 +1,68 @@
+#include <gtest/gtest.h>
+
+#include "src/core/intermittent.h"
+#include "src/core/levy_walk.h"
+#include "src/rng/rng_stream.h"
+
+namespace levy {
+namespace {
+
+TEST(Intermittent, StartOnTargetIsImmediate) {
+    levy_walk w(2.5, rng::seeded(1), {3, 3});
+    const auto r = hit_within_intermittent(w, point_target{{3, 3}}, 100);
+    EXPECT_TRUE(r.hit);
+    EXPECT_EQ(r.time, 0u);
+}
+
+TEST(Intermittent, MissReportsBudget) {
+    levy_walk w(2.5, rng::seeded(2));
+    const auto r = hit_within_intermittent(w, point_target{{1000000, 0}}, 100);
+    EXPECT_FALSE(r.hit);
+    EXPECT_EQ(r.time, 100u);
+}
+
+TEST(Intermittent, OnlySensesAtPhaseBoundaries) {
+    // An intermittent hit must coincide with the walk being between phases.
+    for (std::uint64_t seed = 0; seed < 100; ++seed) {
+        levy_walk w(2.0, rng::seeded(seed));
+        const auto r = hit_within_intermittent(w, point_target{{4, 0}}, 2000);
+        if (r.hit && r.time > 0) {
+            EXPECT_FALSE(w.in_phase()) << "seed " << seed;
+            EXPECT_EQ(w.position(), (point{4, 0}));
+        }
+    }
+}
+
+TEST(Intermittent, NeverBeatsContinuousSensing) {
+    // Coupled runs (identical streams): continuous sensing detects at every
+    // node the walk visits, so it can only hit earlier or equally.
+    int both = 0;
+    for (std::uint64_t seed = 0; seed < 200; ++seed) {
+        levy_walk w_cont(2.2, rng::seeded(seed));
+        levy_walk w_int(2.2, rng::seeded(seed));
+        const point_target target{{5, 0}};
+        const auto c = hit_within(w_cont, target, 3000);
+        const auto i = hit_within_intermittent(w_int, target, 3000);
+        if (i.hit) {
+            ASSERT_TRUE(c.hit) << "seed " << seed;
+            ASSERT_LE(c.time, i.time) << "seed " << seed;
+            ++both;
+        }
+    }
+    EXPECT_GT(both, 0);  // the comparison actually exercised hits
+}
+
+TEST(Intermittent, HitsLessOftenThanContinuousOnAverage) {
+    int cont_hits = 0, int_hits = 0;
+    const point_target target{{10, 0}};
+    for (std::uint64_t seed = 0; seed < 400; ++seed) {
+        levy_walk a(1.8, rng::seeded(5000 + seed));
+        levy_walk b(1.8, rng::seeded(5000 + seed));
+        cont_hits += hit_within(a, target, 500).hit;
+        int_hits += hit_within_intermittent(b, target, 500).hit;
+    }
+    EXPECT_GT(cont_hits, int_hits);
+}
+
+}  // namespace
+}  // namespace levy

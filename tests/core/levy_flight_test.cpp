@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "src/core/levy_flight.h"
+#include "src/grid/ring.h"
+#include "src/rng/rng_stream.h"
+
+namespace levy {
+namespace {
+
+TEST(LevyFlight, StartsWhereTold) {
+    levy_flight f(2.5, rng::seeded(1), {3, -2});
+    EXPECT_EQ(f.position(), (point{3, -2}));
+    EXPECT_EQ(f.steps(), 0u);
+}
+
+TEST(LevyFlight, OneStepPerJump) {
+    levy_flight f(2.5, rng::seeded(2));
+    for (std::uint64_t t = 1; t <= 100; ++t) {
+        f.step();
+        EXPECT_EQ(f.steps(), t);
+    }
+}
+
+TEST(LevyFlight, StepMovesByLastJumpLength) {
+    levy_flight f(2.2, rng::seeded(3));
+    point prev = f.position();
+    for (int i = 0; i < 2000; ++i) {
+        const point next = f.step();
+        EXPECT_EQ(l1_distance(prev, next), static_cast<std::int64_t>(f.last_jump_length()));
+        prev = next;
+    }
+}
+
+TEST(LevyFlight, JumpLengthsFollowEquationThree) {
+    levy_flight f(2.5, rng::seeded(4));
+    const int n = 200000;
+    std::map<std::uint64_t, int> counts;
+    for (int i = 0; i < n; ++i) {
+        f.step();
+        ++counts[f.last_jump_length()];
+    }
+    for (const std::uint64_t k : {0ULL, 1ULL, 2ULL}) {
+        const double expected = f.jumps().pmf(k);
+        const double observed = static_cast<double>(counts[k]) / n;
+        const double sigma = std::sqrt(expected * (1.0 - expected) / n);
+        EXPECT_NEAR(observed, expected, 5.0 * sigma) << "k=" << k;
+    }
+}
+
+TEST(LevyFlight, CapIsRespected) {
+    levy_flight f(1.5, rng::seeded(5), origin, /*cap=*/25);
+    for (int i = 0; i < 50000; ++i) {
+        f.step();
+        ASSERT_LE(f.last_jump_length(), 25u);
+    }
+}
+
+TEST(LevyFlight, DestinationUniformOnRing) {
+    // Conditioned on jump length 1, the destination is uniform over the 4
+    // neighbors.
+    levy_flight f(2.5, rng::seeded(6));
+    std::map<std::uint64_t, int> side_counts;
+    point prev = f.position();
+    int ones = 0;
+    for (int i = 0; i < 400000; ++i) {
+        const point next = f.step();
+        if (f.last_jump_length() == 1) {
+            ++ones;
+            ++side_counts[ring_index(prev, next)];
+        }
+        prev = next;
+    }
+    ASSERT_GT(ones, 1000);
+    for (std::uint64_t j = 0; j < 4; ++j) {
+        EXPECT_NEAR(static_cast<double>(side_counts[j]) / ones, 0.25, 0.02) << "j=" << j;
+    }
+}
+
+TEST(LevyFlight, DeterministicGivenSeed) {
+    levy_flight a(2.7, rng::seeded(7)), b(2.7, rng::seeded(7));
+    for (int i = 0; i < 500; ++i) ASSERT_EQ(a.step(), b.step());
+}
+
+TEST(LevyFlight, AccessorsReflectConstruction) {
+    levy_flight f(2.25, rng::seeded(8), origin, 123);
+    EXPECT_DOUBLE_EQ(f.alpha(), 2.25);
+    EXPECT_EQ(f.cap(), 123u);
+}
+
+TEST(LevyFlight, StaysPutRoughlyHalfTheTime) {
+    levy_flight f(3.0, rng::seeded(9));
+    int stays = 0;
+    const int n = 100000;
+    point prev = f.position();
+    for (int i = 0; i < n; ++i) {
+        const point next = f.step();
+        stays += (next == prev);
+        prev = next;
+    }
+    EXPECT_NEAR(static_cast<double>(stays) / n, 0.5, 0.01);
+}
+
+}  // namespace
+}  // namespace levy

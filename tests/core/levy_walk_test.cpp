@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/core/levy_walk.h"
+#include "src/rng/rng_stream.h"
+
+namespace levy {
+namespace {
+
+TEST(LevyWalk, StartsWhereTold) {
+    levy_walk w(2.5, rng::seeded(1), {5, 5});
+    EXPECT_EQ(w.position(), (point{5, 5}));
+    EXPECT_EQ(w.steps(), 0u);
+    EXPECT_EQ(w.phases(), 0u);
+    EXPECT_FALSE(w.in_phase());
+}
+
+TEST(LevyWalk, EveryStepIsUnitOrStay) {
+    levy_walk w(2.2, rng::seeded(2));
+    point prev = w.position();
+    for (int i = 0; i < 20000; ++i) {
+        const point next = w.step();
+        ASSERT_LE(l1_distance(prev, next), 1);
+        prev = next;
+    }
+    EXPECT_EQ(w.steps(), 20000u);
+}
+
+TEST(LevyWalk, PhaseTraversesExactlyItsJumpLength) {
+    levy_walk w(2.0, rng::seeded(3));
+    for (int phase = 0; phase < 500; ++phase) {
+        ASSERT_FALSE(w.in_phase());
+        const point phase_start = w.position();
+        w.step();  // begins a new phase
+        const std::uint64_t d = w.current_jump_length();
+        if (d == 0) {
+            EXPECT_EQ(w.position(), phase_start);
+            EXPECT_FALSE(w.in_phase());
+            continue;
+        }
+        std::uint64_t steps_in_phase = 1;
+        while (w.in_phase()) {
+            w.step();
+            ++steps_in_phase;
+        }
+        EXPECT_EQ(steps_in_phase, d);
+        EXPECT_EQ(l1_distance(phase_start, w.position()), static_cast<std::int64_t>(d));
+    }
+}
+
+TEST(LevyWalk, StayPutPhasesHappenHalfTheTime) {
+    levy_walk w(3.0, rng::seeded(4));
+    int zero_phases = 0;
+    const int phases = 20000;
+    for (int p = 0; p < phases; ++p) {
+        w.step();
+        if (w.current_jump_length() == 0) {
+            ++zero_phases;
+            continue;
+        }
+        while (w.in_phase()) w.step();
+    }
+    EXPECT_NEAR(static_cast<double>(zero_phases) / phases, 0.5, 0.02);
+}
+
+TEST(LevyWalk, PhaseCounterMatchesManualCount) {
+    levy_walk w(2.5, rng::seeded(5));
+    std::uint64_t manual = 0;
+    for (int i = 0; i < 10000; ++i) {
+        if (!w.in_phase()) ++manual;
+        w.step();
+    }
+    EXPECT_EQ(w.phases(), manual);
+}
+
+TEST(LevyWalk, CapBoundsPhaseDisplacement) {
+    const std::uint64_t cap = 10;
+    levy_walk w(1.5, rng::seeded(6), origin, cap);
+    for (int i = 0; i < 30000; ++i) {
+        w.step();
+        ASSERT_LE(w.current_jump_length(), cap);
+    }
+}
+
+TEST(LevyWalk, DeterministicGivenSeed) {
+    levy_walk a(2.5, rng::seeded(7)), b(2.5, rng::seeded(7));
+    for (int i = 0; i < 5000; ++i) ASSERT_EQ(a.step(), b.step());
+}
+
+TEST(LevyWalk, DiffusiveScalingForLargeAlpha) {
+    // α = 6: variance is finite, so after t steps the typical displacement
+    // is Θ(√t). Check the mean squared displacement is near-linear in t.
+    const int trials = 400;
+    const std::uint64_t t = 4000;
+    double msd = 0.0;
+    for (int trial = 0; trial < trials; ++trial) {
+        levy_walk w(6.0, rng::seeded(100 + static_cast<std::uint64_t>(trial)));
+        for (std::uint64_t i = 0; i < t; ++i) w.step();
+        msd += static_cast<double>(l2_norm_sq(w.position()));
+    }
+    msd /= trials;
+    // Var per *jump* is small for α=6 and phases are short; the MSD after t
+    // unit steps is c·t with c well below 10. The point is the order of
+    // magnitude: far below the ballistic t² = 1.6e7.
+    EXPECT_LT(msd, 100.0 * static_cast<double>(t));
+    EXPECT_GT(msd, 0.01 * static_cast<double>(t));
+}
+
+TEST(LevyWalk, BallisticAlphaCoversDistanceLinearly) {
+    // α = 1.2: a single phase is typically enormous, so after t steps the
+    // walk is at distance ≈ t from the origin most of the time.
+    int far = 0;
+    const int trials = 200;
+    const std::uint64_t t = 2000;
+    for (int trial = 0; trial < trials; ++trial) {
+        levy_walk w(1.2, rng::seeded(900 + static_cast<std::uint64_t>(trial)));
+        for (std::uint64_t i = 0; i < t; ++i) w.step();
+        far += (l1_norm(w.position()) > static_cast<std::int64_t>(t) / 4);
+    }
+    EXPECT_GT(far, trials / 2);
+}
+
+TEST(LevyWalk, AlphaAccessor) {
+    levy_walk w(2.75, rng::seeded(8));
+    EXPECT_DOUBLE_EQ(w.alpha(), 2.75);
+    EXPECT_EQ(w.cap(), kNoCap);
+}
+
+}  // namespace
+}  // namespace levy

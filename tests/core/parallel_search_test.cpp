@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/core/levy_walk.h"
+#include "src/core/parallel_search.h"
+#include "src/rng/rng_stream.h"
+
+namespace levy {
+namespace {
+
+TEST(ParallelSearch, SingleWalkMatchesDirectSimulation) {
+    // k = 1 must reproduce exactly the walk driven by substream(0).
+    const point target{20, 0};
+    const std::uint64_t budget = 20000;
+    const rng trial = rng::seeded(123);
+
+    const auto via_parallel = parallel_hit(1, fixed_exponent(2.5), target, budget, trial);
+
+    rng walk_stream = trial.substream(0);
+    const double alpha = fixed_exponent(2.5)(0, walk_stream);
+    levy_walk walk(alpha, walk_stream);
+    const auto direct = hit_within(walk, target, budget);
+
+    EXPECT_EQ(via_parallel.hit, direct.hit);
+    EXPECT_EQ(via_parallel.time, direct.time);
+    if (direct.hit) {
+        EXPECT_EQ(via_parallel.winner, 0u);
+        EXPECT_DOUBLE_EQ(via_parallel.winner_alpha, 2.5);
+    }
+}
+
+TEST(ParallelSearch, MissLeavesNoWinner) {
+    const auto r = parallel_hit(4, fixed_exponent(2.5), {1000000, 0}, 100, rng::seeded(1));
+    EXPECT_FALSE(r.hit);
+    EXPECT_EQ(r.time, 100u);
+    EXPECT_EQ(r.winner, parallel_result::kNoWinner);
+    EXPECT_TRUE(std::isnan(r.winner_alpha));
+}
+
+TEST(ParallelSearch, TargetAtOriginIsInstant) {
+    const auto r = parallel_hit(8, fixed_exponent(2.5), origin, 100, rng::seeded(2));
+    EXPECT_TRUE(r.hit);
+    EXPECT_EQ(r.time, 0u);
+    EXPECT_EQ(r.winner, 0u);
+}
+
+TEST(ParallelSearch, DeterministicGivenSeed) {
+    const auto a = parallel_hit(8, uniform_exponent(), {15, 0}, 5000, rng::seeded(3));
+    const auto b = parallel_hit(8, uniform_exponent(), {15, 0}, 5000, rng::seeded(3));
+    EXPECT_EQ(a.hit, b.hit);
+    EXPECT_EQ(a.time, b.time);
+    EXPECT_EQ(a.winner, b.winner);
+}
+
+TEST(ParallelSearch, WinnerTimeNeverExceedsBudget) {
+    for (std::uint64_t seed = 0; seed < 30; ++seed) {
+        const auto r = parallel_hit(4, fixed_exponent(2.2), {10, 0}, 1000, rng::seeded(seed));
+        EXPECT_LE(r.time, 1000u);
+        if (r.hit) {
+            EXPECT_LT(r.winner, 4u);
+            EXPECT_DOUBLE_EQ(r.winner_alpha, 2.2);
+        }
+    }
+}
+
+TEST(ParallelSearch, MoreWalksHitMoreOften) {
+    const point target{30, 0};
+    const std::uint64_t budget = 3000;
+    int hits_small = 0, hits_large = 0;
+    const int trials = 150;
+    for (std::uint64_t t = 0; t < trials; ++t) {
+        hits_small += parallel_hit(2, fixed_exponent(2.5), target, budget,
+                                   rng::seeded(10000 + t)).hit;
+        hits_large += parallel_hit(32, fixed_exponent(2.5), target, budget,
+                                   rng::seeded(20000 + t)).hit;
+    }
+    EXPECT_GT(hits_large, hits_small);
+}
+
+TEST(ParallelSearch, WinnerAlphaComesFromStrategy) {
+    // With a random strategy, the winner's α must match what the strategy
+    // deals to that index under the same trial stream.
+    const rng trial = rng::seeded(4);
+    const auto exponents = strategy_exponents(16, uniform_exponent(), trial);
+    const auto r = parallel_hit(16, uniform_exponent(), {5, 0}, 5000, trial);
+    if (r.hit && r.time > 0) {
+        ASSERT_LT(r.winner, exponents.size());
+        EXPECT_DOUBLE_EQ(r.winner_alpha, exponents[r.winner]);
+    }
+}
+
+TEST(StrategyExponents, MatchesCountAndRange) {
+    const auto alphas = strategy_exponents(10, uniform_exponent(), rng::seeded(5));
+    ASSERT_EQ(alphas.size(), 10u);
+    for (double a : alphas) {
+        EXPECT_GE(a, 2.0);
+        EXPECT_LT(a, 3.0);
+    }
+}
+
+TEST(StrategyExponents, FixedStrategyIsConstant) {
+    const auto alphas = strategy_exponents(5, fixed_exponent(2.8), rng::seeded(6));
+    for (double a : alphas) EXPECT_DOUBLE_EQ(a, 2.8);
+}
+
+TEST(ParallelSearch, ZeroWalksNeverHit) {
+    const auto r = parallel_hit(0, fixed_exponent(2.5), {5, 0}, 100, rng::seeded(7));
+    EXPECT_FALSE(r.hit);
+    EXPECT_EQ(r.time, 100u);
+}
+
+}  // namespace
+}  // namespace levy

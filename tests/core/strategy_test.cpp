@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/core/strategy.h"
+
+namespace levy {
+namespace {
+
+TEST(FixedExponent, AlwaysReturnsAlpha) {
+    const auto s = fixed_exponent(2.4);
+    rng g = rng::seeded(1);
+    for (std::size_t i = 0; i < 10; ++i) EXPECT_DOUBLE_EQ(s(i, g), 2.4);
+}
+
+TEST(FixedExponent, RejectsInvalidAlpha) {
+    EXPECT_THROW(fixed_exponent(1.0), std::invalid_argument);
+    EXPECT_THROW(fixed_exponent(0.0), std::invalid_argument);
+}
+
+TEST(UniformExponent, StaysInDefaultInterval) {
+    const auto s = uniform_exponent();
+    rng g = rng::seeded(2);
+    double sum = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) {
+        const double a = s(0, g);
+        ASSERT_GE(a, 2.0);
+        ASSERT_LT(a, 3.0);
+        sum += a;
+    }
+    EXPECT_NEAR(sum / n, 2.5, 0.01);
+}
+
+TEST(UniformExponent, CustomInterval) {
+    const auto s = uniform_exponent(1.5, 1.6);
+    rng g = rng::seeded(3);
+    for (int i = 0; i < 1000; ++i) {
+        const double a = s(0, g);
+        ASSERT_GE(a, 1.5);
+        ASSERT_LT(a, 1.6);
+    }
+}
+
+TEST(UniformExponent, RejectsBadInterval) {
+    EXPECT_THROW(uniform_exponent(0.5, 2.0), std::invalid_argument);
+    EXPECT_THROW(uniform_exponent(2.5, 2.5), std::invalid_argument);
+}
+
+TEST(OptimalAlpha, MatchesCorollaryFormula) {
+    // α* = 3 − log k / log ℓ.
+    EXPECT_NEAR(optimal_alpha(64.0, 4096.0), 3.0 - std::log(64.0) / std::log(4096.0), 1e-12);
+    // k = ℓ → α* = 2; k = 1 → α* = 3.
+    EXPECT_DOUBLE_EQ(optimal_alpha(1000.0, 1000.0), 2.0);
+    EXPECT_DOUBLE_EQ(optimal_alpha(1.0, 1000.0), 3.0);
+}
+
+TEST(OptimalAlpha, ClampsOutsideSuperdiffusiveRange) {
+    // k ≫ ℓ would give α < 2: clamp to the ballistic threshold (Thm 1.5(c)).
+    EXPECT_DOUBLE_EQ(optimal_alpha(1e6, 100.0), 2.0);
+    // k < 1 impossible; k = 1 caps at 3 (Thm 1.5(b)).
+    EXPECT_DOUBLE_EQ(optimal_alpha(1.0, 10.0), 3.0);
+}
+
+TEST(OptimalAlpha, MonotoneInK) {
+    double prev = 4.0;
+    for (double k = 2.0; k <= 1024.0; k *= 2.0) {
+        const double a = optimal_alpha(k, 1 << 20);
+        EXPECT_LT(a, prev);
+        prev = a;
+    }
+}
+
+TEST(OptimalAlpha, RejectsBadArguments) {
+    EXPECT_THROW((void)optimal_alpha(0.5, 100.0), std::invalid_argument);
+    EXPECT_THROW((void)optimal_alpha(10.0, 1.0), std::invalid_argument);
+}
+
+TEST(OptimalAlphaAdjusted, AddsPositiveCorrection) {
+    // The +5 log log ℓ / log ℓ term only fits inside (2,3) at asymptotic
+    // scales (it needs log ℓ ≳ 38); use theorem-regime magnitudes.
+    const double k = 1e10, ell = 1e17;
+    EXPECT_GT(optimal_alpha_adjusted(k, ell), optimal_alpha(k, ell));
+    const double log_ell = std::log(ell);
+    const double expected = 3.0 - std::log(k) / log_ell + 5.0 * std::log(log_ell) / log_ell;
+    ASSERT_LT(expected, 3.0);  // not clamped at this scale
+    EXPECT_NEAR(optimal_alpha_adjusted(k, ell), expected, 1e-12);
+}
+
+TEST(OptimalAlphaAdjusted, ClampsAtLaptopScales) {
+    // At bench-scale (k, ℓ) the correction overshoots 3 and clamps — the
+    // benches therefore sweep α explicitly instead of trusting the formula.
+    EXPECT_DOUBLE_EQ(optimal_alpha_adjusted(64.0, 4096.0), 3.0);
+}
+
+TEST(OptimalAlphaAdjusted, StillClampedToThree) {
+    EXPECT_DOUBLE_EQ(optimal_alpha_adjusted(1.0, 100.0), 3.0);
+}
+
+TEST(RoundRobinExponent, CyclesThroughGridMidpoints) {
+    const auto s = round_robin_exponent(2.0, 3.0, 4);
+    rng g = rng::seeded(20);
+    EXPECT_DOUBLE_EQ(s(0, g), 2.125);
+    EXPECT_DOUBLE_EQ(s(1, g), 2.375);
+    EXPECT_DOUBLE_EQ(s(2, g), 2.625);
+    EXPECT_DOUBLE_EQ(s(3, g), 2.875);
+    EXPECT_DOUBLE_EQ(s(4, g), 2.125);  // wraps
+}
+
+TEST(RoundRobinExponent, StaysInsideInterval) {
+    const auto s = round_robin_exponent(2.0, 3.0, 7);
+    rng g = rng::seeded(21);
+    for (std::size_t i = 0; i < 50; ++i) {
+        const double a = s(i, g);
+        EXPECT_GT(a, 2.0);
+        EXPECT_LT(a, 3.0);
+    }
+}
+
+TEST(RoundRobinExponent, IsDeterministic) {
+    const auto s = round_robin_exponent();
+    rng g1 = rng::seeded(22), g2 = rng::seeded(23);
+    for (std::size_t i = 0; i < 20; ++i) EXPECT_DOUBLE_EQ(s(i, g1), s(i, g2));
+}
+
+TEST(RoundRobinExponent, RejectsBadArguments) {
+    EXPECT_THROW(round_robin_exponent(0.5, 3.0, 4), std::invalid_argument);
+    EXPECT_THROW(round_robin_exponent(2.0, 2.0, 4), std::invalid_argument);
+    EXPECT_THROW(round_robin_exponent(2.0, 3.0, 0), std::invalid_argument);
+}
+
+TEST(DiscreteExponent, DrawsOnlyFromMenu) {
+    const auto s = discrete_exponent({2.2, 2.5, 2.8});
+    rng g = rng::seeded(24);
+    int seen[3] = {};
+    for (int i = 0; i < 3000; ++i) {
+        const double a = s(0, g);
+        if (a == 2.2) ++seen[0];
+        else if (a == 2.5) ++seen[1];
+        else if (a == 2.8) ++seen[2];
+        else FAIL() << "off-menu alpha " << a;
+    }
+    // Roughly uniform over the menu.
+    for (int c : seen) EXPECT_NEAR(c, 1000, 150);
+}
+
+TEST(DiscreteExponent, RejectsBadMenus) {
+    EXPECT_THROW(discrete_exponent({}), std::invalid_argument);
+    EXPECT_THROW(discrete_exponent({2.5, 1.0}), std::invalid_argument);
+}
+
+TEST(Strategies, UniformDrawsAreIndependentAcrossStreams) {
+    const auto s = uniform_exponent();
+    rng g1 = rng::seeded(10), g2 = rng::seeded(11);
+    EXPECT_NE(s(0, g1), s(0, g2));
+}
+
+}  // namespace
+}  // namespace levy

@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/core/target_field.h"
+
+namespace levy {
+namespace {
+
+TEST(TargetField, RejectsBadDensity) {
+    EXPECT_THROW(random_target_field(0.0, 1), std::invalid_argument);
+    EXPECT_THROW(random_target_field(1.0, 1), std::invalid_argument);
+    EXPECT_THROW(random_target_field(-0.5, 1), std::invalid_argument);
+}
+
+TEST(TargetField, DeterministicPerSeed) {
+    const random_target_field a(0.01, 42), b(0.01, 42);
+    for (std::int64_t x = -50; x <= 50; ++x) {
+        for (std::int64_t y = -50; y <= 50; ++y) {
+            ASSERT_EQ(a.contains({x, y}), b.contains({x, y}));
+        }
+    }
+}
+
+TEST(TargetField, SeedsGiveDifferentFields) {
+    const random_target_field a(0.05, 1), b(0.05, 2);
+    int differ = 0;
+    for (std::int64_t x = 0; x < 100; ++x) {
+        for (std::int64_t y = 0; y < 100; ++y) {
+            differ += (a.contains({x, y}) != b.contains({x, y}));
+        }
+    }
+    EXPECT_GT(differ, 0);
+}
+
+TEST(TargetField, EmpiricalDensityMatches) {
+    const double density = 0.02;
+    const random_target_field field(density, 7);
+    std::uint64_t targets = 0;
+    const std::int64_t half = 250;  // 501^2 ≈ 251k sites
+    for (std::int64_t x = -half; x <= half; ++x) {
+        for (std::int64_t y = -half; y <= half; ++y) {
+            targets += field.contains({x, y});
+        }
+    }
+    const double n = static_cast<double>((2 * half + 1) * (2 * half + 1));
+    const double observed = static_cast<double>(targets) / n;
+    const double sigma = std::sqrt(density * (1 - density) / n);
+    EXPECT_NEAR(observed, density, 5.0 * sigma);
+}
+
+TEST(TargetField, ConsumeRemovesTarget) {
+    random_target_field field(0.3, 9);
+    // Find some target site.
+    point site{0, 0};
+    bool found = false;
+    for (std::int64_t x = 0; x < 100 && !found; ++x) {
+        if (field.contains({x, 0})) {
+            site = {x, 0};
+            found = true;
+        }
+    }
+    ASSERT_TRUE(found);
+    field.consume(site);
+    EXPECT_FALSE(field.contains(site));
+    EXPECT_EQ(field.consumed(), 1u);
+}
+
+TEST(TargetField, ConsumingNonTargetIsNoop) {
+    random_target_field field(0.001, 10);
+    // With density 1e-3, (1,1) is almost surely not a target under this
+    // seed; make the test robust by scanning for a non-target.
+    point site{0, 0};
+    for (std::int64_t x = 0; x < 100; ++x) {
+        if (!field.contains({x, 0})) {
+            site = {x, 0};
+            break;
+        }
+    }
+    field.consume(site);
+    EXPECT_EQ(field.consumed(), 0u);
+}
+
+TEST(TargetField, DensityAccessor) {
+    EXPECT_DOUBLE_EQ(random_target_field(0.25, 1).density(), 0.25);
+}
+
+}  // namespace
+}  // namespace levy

@@ -1,0 +1,57 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/core/target.h"
+
+namespace levy {
+namespace {
+
+TEST(PointTarget, ContainsOnlyItself) {
+    constexpr point_target t{{3, -1}};
+    EXPECT_TRUE(t.contains({3, -1}));
+    EXPECT_FALSE(t.contains({3, 0}));
+    EXPECT_FALSE(t.contains(origin));
+}
+
+TEST(PointTarget, EllIsL1Norm) {
+    constexpr point_target t{{3, -4}};
+    EXPECT_EQ(t.ell(), 7);
+}
+
+TEST(DiscTarget, RadiusZeroIsPoint) {
+    constexpr disc_target t{{2, 2}, 0};
+    EXPECT_TRUE(t.contains({2, 2}));
+    EXPECT_FALSE(t.contains({2, 3}));
+}
+
+TEST(DiscTarget, L1Ball) {
+    constexpr disc_target t{{0, 0}, 2};
+    EXPECT_TRUE(t.contains({1, 1}));
+    EXPECT_TRUE(t.contains({0, 2}));
+    EXPECT_FALSE(t.contains({2, 1}));
+}
+
+TEST(SetTarget, InitializerList) {
+    const set_target t{{1, 1}, {2, 2}, {-3, 0}};
+    EXPECT_EQ(t.size(), 3u);
+    EXPECT_TRUE(t.contains({2, 2}));
+    EXPECT_FALSE(t.contains({2, 1}));
+}
+
+TEST(SetTarget, IteratorConstruction) {
+    const std::vector<point> pts = {{0, 1}, {0, 2}, {0, 1}};  // duplicate collapses
+    const set_target t(pts.begin(), pts.end());
+    EXPECT_EQ(t.size(), 2u);
+    EXPECT_TRUE(t.contains({0, 2}));
+}
+
+TEST(TargetConcept, AllTargetsModelIt) {
+    static_assert(target_predicate<point_target>);
+    static_assert(target_predicate<disc_target>);
+    static_assert(target_predicate<set_target>);
+    SUCCEED();
+}
+
+}  // namespace
+}  // namespace levy

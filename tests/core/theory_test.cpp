@@ -1,0 +1,80 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/core/theory.h"
+
+namespace levy::theory {
+namespace {
+
+TEST(Theory, TEllShape) {
+    EXPECT_DOUBLE_EQ(t_ell(2.0, 100.0), 100.0);
+    EXPECT_DOUBLE_EQ(t_ell(3.0, 100.0), 10000.0);
+    EXPECT_NEAR(t_ell(2.5, 100.0), std::pow(100.0, 1.5), 1e-9);
+}
+
+TEST(Theory, SuperdiffusiveProbDecreasesWithEll) {
+    EXPECT_GT(superdiffusive_hit_prob(2.5, 100.0), superdiffusive_hit_prob(2.5, 1000.0));
+}
+
+TEST(Theory, SuperdiffusiveProbIncreasesWithAlpha) {
+    // Closer to 3 → smaller ℓ^{3-α} penalty.
+    EXPECT_LT(superdiffusive_hit_prob(2.2, 100.0), superdiffusive_hit_prob(2.8, 100.0));
+}
+
+TEST(Theory, EarlyHitQuadraticInT) {
+    const double p1 = early_hit_prob(2.5, 100.0, 200.0);
+    const double p2 = early_hit_prob(2.5, 100.0, 400.0);
+    EXPECT_NEAR(p2 / p1, 4.0, 1e-9);
+}
+
+TEST(Theory, EventualHitDominatesBudgetedHit) {
+    EXPECT_GT(eventual_hit_prob(2.5, 100.0), superdiffusive_hit_prob(2.5, 100.0));
+}
+
+TEST(Theory, DiffusiveBudgetShape) {
+    const double ell = 64.0;
+    EXPECT_NEAR(diffusive_budget(ell), ell * ell * std::pow(std::log(ell), 2.0), 1e-9);
+    EXPECT_NEAR(diffusive_hit_prob(ell), std::pow(std::log(ell), -4.0), 1e-12);
+}
+
+TEST(Theory, BallisticShapes) {
+    const double ell = 128.0;
+    EXPECT_NEAR(ballistic_hit_prob(ell), 1.0 / (ell * std::log(ell)), 1e-12);
+    EXPECT_GT(ballistic_eventual_hit_prob(ell), ballistic_hit_prob(ell));
+}
+
+TEST(Theory, OptimalParallelBudgetImprovesWithK) {
+    const double ell = 1024.0;
+    EXPECT_GT(optimal_parallel_budget(4.0, ell), optimal_parallel_budget(64.0, ell));
+}
+
+TEST(Theory, ParallelBudgetFloorIsEll) {
+    // For enormous k the budget approaches the ℓ term: no strategy beats
+    // distance ℓ.
+    EXPECT_GE(optimal_parallel_budget(1e12, 1000.0), 1000.0);
+    EXPECT_GE(universal_lower_bound(1e12, 1000.0), 1000.0);
+}
+
+TEST(Theory, RandomStrategyWithinPolylogOfOptimal) {
+    const double k = 256.0, ell = 4096.0;
+    const double ratio = random_strategy_budget(k, ell) / optimal_parallel_budget(k, ell);
+    const double log_ell = std::log(ell);
+    EXPECT_GT(ratio, 0.9);              // never better than the oracle shape
+    EXPECT_LT(ratio, 2.0 * log_ell);    // at most ~log ℓ worse
+}
+
+TEST(Theory, UniversalLowerBoundBelowUpperBounds) {
+    const double k = 64.0, ell = 2048.0;
+    EXPECT_LE(universal_lower_bound(k, ell), optimal_parallel_budget(k, ell));
+    EXPECT_LE(universal_lower_bound(k, ell), random_strategy_budget(k, ell));
+}
+
+TEST(Theory, RejectsBadArguments) {
+    EXPECT_THROW((void)t_ell(2.5, 1.0), std::invalid_argument);
+    EXPECT_THROW((void)optimal_parallel_budget(0.0, 100.0), std::invalid_argument);
+    EXPECT_THROW((void)universal_lower_bound(-1.0, 100.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace levy::theory

@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <unordered_map>
+
+#include "src/grid/ball.h"
+#include "src/rng/rng_stream.h"
+
+namespace levy {
+namespace {
+
+TEST(Ball, SizeFormula) {
+    EXPECT_EQ(ball_size(0), 1u);
+    EXPECT_EQ(ball_size(1), 5u);
+    EXPECT_EQ(ball_size(2), 13u);
+    EXPECT_EQ(ball_size(10), 221u);
+}
+
+TEST(Box, SizeFormula) {
+    EXPECT_EQ(box_size(0), 1u);
+    EXPECT_EQ(box_size(1), 9u);
+    EXPECT_EQ(box_size(4), 81u);
+}
+
+TEST(Ball, Membership) {
+    const point c{2, 2};
+    EXPECT_TRUE(in_ball(c, 3, {2, 2}));
+    EXPECT_TRUE(in_ball(c, 3, {4, 3}));   // distance 3
+    EXPECT_FALSE(in_ball(c, 3, {4, 4}));  // distance 4
+}
+
+TEST(Box, Membership) {
+    const point c{0, 0};
+    EXPECT_TRUE(in_box(c, 2, {2, -2}));
+    EXPECT_FALSE(in_box(c, 2, {3, 0}));
+}
+
+TEST(Ball, BallInsideBoxInsideBiggerBall) {
+    // B_d ⊆ Q_d ⊆ B_{2d}: the inclusion chain the proofs lean on.
+    const std::int64_t d = 4;
+    for_each_ball_node(origin, d, [&](point p) { EXPECT_TRUE(in_box(origin, d, p)); });
+    for_each_box_node(origin, d, [&](point p) { EXPECT_TRUE(in_ball(origin, 2 * d, p)); });
+}
+
+class BallEnumeration : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(BallEnumeration, CountsAndDistancesMatch) {
+    const std::int64_t d = GetParam();
+    const point center{-1, 6};
+    std::set<std::pair<std::int64_t, std::int64_t>> seen;
+    for_each_ball_node(center, d, [&](point p) {
+        EXPECT_LE(l1_distance(center, p), d);
+        seen.insert({p.x, p.y});
+    });
+    EXPECT_EQ(seen.size(), ball_size(d));
+}
+
+TEST_P(BallEnumeration, BoxCountsMatch) {
+    const std::int64_t d = GetParam();
+    std::set<std::pair<std::int64_t, std::int64_t>> seen;
+    for_each_box_node(origin, d, [&](point p) {
+        EXPECT_LE(linf_distance(origin, p), d);
+        seen.insert({p.x, p.y});
+    });
+    EXPECT_EQ(seen.size(), box_size(d));
+}
+
+INSTANTIATE_TEST_SUITE_P(Radii, BallEnumeration, ::testing::Values<std::int64_t>(0, 1, 2, 5, 12));
+
+TEST(Ball, SamplingIsUniform) {
+    const std::int64_t d = 3;  // 25 nodes
+    rng g = rng::seeded(0x77);
+    const int n = 250000;
+    std::unordered_map<point, int, point_hash> counts;
+    for (int i = 0; i < n; ++i) ++counts[sample_ball(origin, d, g)];
+    EXPECT_EQ(counts.size(), ball_size(d));
+    const double expected = static_cast<double>(n) / static_cast<double>(ball_size(d));
+    for (const auto& [p, c] : counts) {
+        EXPECT_LT(l1_norm(p), d + 1);
+        const double sigma = std::sqrt(expected);
+        EXPECT_NEAR(static_cast<double>(c), expected, 6.0 * sigma) << p.x << "," << p.y;
+    }
+}
+
+TEST(Ball, SampleZeroRadiusIsCenter) {
+    rng g = rng::seeded(2);
+    EXPECT_EQ(sample_ball({9, -9}, 0, g), (point{9, -9}));
+}
+
+TEST(Ball, SampleLargeRadiusStaysInside) {
+    rng g = rng::seeded(3);
+    const std::int64_t d = 1000000;
+    for (int i = 0; i < 1000; ++i) {
+        ASSERT_LE(l1_norm(sample_ball(origin, d, g)), d);
+    }
+}
+
+TEST(Ball, SampleRejectsNegativeRadius) {
+    rng g = rng::seeded(4);
+    EXPECT_THROW((void)sample_ball(origin, -1, g), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace levy

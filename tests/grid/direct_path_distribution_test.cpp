@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "src/grid/direct_path.h"
+#include "src/grid/ring.h"
+#include "src/rng/rng_stream.h"
+
+namespace levy {
+namespace {
+
+/// Lemma 3.2: if v is uniform on R_d(u) and a direct path u → v is sampled
+/// uniformly, then for every 1 ≤ i < d and w ∈ R_i(u),
+///
+///     (i/d)·⌊d/i⌋ / (4i)  ≤  P(u_i = w)  ≤  (i/d)·⌈d/i⌉ / (4i).
+///
+/// In particular when i | d both bounds collapse to 1/(4i): the i-th node is
+/// exactly uniform on its ring. We verify the uniform case tightly and the
+/// general band with statistical slack.
+
+struct intermediate_counts {
+    std::vector<double> freq;  // frequency of each ring index of R_i
+};
+
+intermediate_counts sample_intermediate(std::int64_t d, std::int64_t i, int n,
+                                        std::uint64_t seed) {
+    rng g = rng::seeded(seed);
+    std::vector<std::uint64_t> counts(ring_size(i), 0);
+    for (int trial = 0; trial < n; ++trial) {
+        const point v = sample_ring(origin, d, g);
+        direct_path_stepper s(origin, v);
+        point ui = origin;
+        for (std::int64_t step = 0; step < i; ++step) ui = s.advance(g);
+        ++counts[ring_index(origin, ui)];
+    }
+    intermediate_counts out;
+    out.freq.reserve(counts.size());
+    for (const std::uint64_t c : counts) {
+        out.freq.push_back(static_cast<double>(c) / static_cast<double>(n));
+    }
+    return out;
+}
+
+class DividingIndex : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(DividingIndex, IntermediateNodeIsUniformOnItsRing) {
+    const std::int64_t d = 12;
+    const std::int64_t i = GetParam();
+    ASSERT_EQ(d % i, 0) << "test parameter must divide d";
+    const int n = 200000;
+    const auto result = sample_intermediate(d, i, n, /*seed=*/0xd1f + static_cast<std::uint64_t>(i));
+    const double p = 1.0 / static_cast<double>(ring_size(i));
+    const double sigma = std::sqrt(p * (1.0 - p) / n);
+    for (std::size_t j = 0; j < result.freq.size(); ++j) {
+        EXPECT_NEAR(result.freq[j], p, 5.0 * sigma) << "i=" << i << " ring index " << j;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Divisors, DividingIndex, ::testing::Values<std::int64_t>(1, 2, 3, 4, 6));
+
+class GeneralIndex : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(GeneralIndex, FrequenciesStayInLemmaBand) {
+    const std::int64_t d = 12;
+    const std::int64_t i = GetParam();
+    const int n = 200000;
+    const auto result = sample_intermediate(d, i, n, /*seed=*/0xba2d + static_cast<std::uint64_t>(i));
+    const double di = static_cast<double>(d) / static_cast<double>(i);
+    const double lo =
+        (static_cast<double>(i) / static_cast<double>(d)) * std::floor(di) / (4.0 * static_cast<double>(i));
+    const double hi =
+        (static_cast<double>(i) / static_cast<double>(d)) * std::ceil(di) / (4.0 * static_cast<double>(i));
+    // 5-sigma statistical slack around the analytic band.
+    const double sigma = std::sqrt(hi * (1.0 - hi) / n);
+    for (std::size_t j = 0; j < result.freq.size(); ++j) {
+        EXPECT_GE(result.freq[j], lo - 5.0 * sigma) << "i=" << i << " ring index " << j;
+        EXPECT_LE(result.freq[j], hi + 5.0 * sigma) << "i=" << i << " ring index " << j;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(NonDivisors, GeneralIndex, ::testing::Values<std::int64_t>(5, 7, 8, 9, 11));
+
+TEST(DirectPathDistribution, FixedDestinationConcentratesOnSegment) {
+    // For a fixed v (no averaging over R_d), the intermediate node must stay
+    // within L2 distance ~1 of the segment point w_i — far from uniform.
+    const point v{9, 3};
+    const std::int64_t d = l1_norm(v);
+    rng g = rng::seeded(0xf17ed);
+    for (int trial = 0; trial < 2000; ++trial) {
+        direct_path_stepper s(origin, v);
+        for (std::int64_t i = 1; i <= d; ++i) {
+            const point ui = s.advance(g);
+            const double wx = static_cast<double>(i) * 9.0 / static_cast<double>(d);
+            const double wy = static_cast<double>(i) * 3.0 / static_cast<double>(d);
+            const double dist2 = std::hypot(static_cast<double>(ui.x) - wx,
+                                            static_cast<double>(ui.y) - wy);
+            ASSERT_LE(dist2, std::sqrt(2.0) + 1e-9);
+        }
+    }
+}
+
+}  // namespace
+}  // namespace levy

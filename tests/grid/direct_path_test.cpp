@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+#include <vector>
+
+#include "src/grid/direct_path.h"
+#include "src/rng/rng_stream.h"
+
+namespace levy {
+namespace {
+
+TEST(DirectPath, EmptyWhenEndpointsCoincide) {
+    direct_path_stepper s({3, 3}, {3, 3});
+    EXPECT_TRUE(s.done());
+    EXPECT_EQ(s.length(), 0);
+    EXPECT_EQ(s.position(), (point{3, 3}));
+}
+
+TEST(DirectPath, AxisAlignedIsStraightLine) {
+    rng g = rng::seeded(1);
+    const auto path = sample_direct_path({0, 0}, {5, 0}, g);
+    ASSERT_EQ(path.size(), 6u);
+    for (std::int64_t i = 0; i <= 5; ++i) EXPECT_EQ(path[i], (point{i, 0}));
+}
+
+TEST(DirectPath, VerticalNegativeDirection) {
+    rng g = rng::seeded(2);
+    const auto path = sample_direct_path({1, 1}, {1, -3}, g);
+    ASSERT_EQ(path.size(), 5u);
+    for (std::int64_t i = 0; i <= 4; ++i) EXPECT_EQ(path[i], (point{1, 1 - i}));
+}
+
+using endpoint_case = std::tuple<std::int64_t, std::int64_t>;
+
+class DirectPathValidity : public ::testing::TestWithParam<endpoint_case> {};
+
+TEST_P(DirectPathValidity, IsAShortestLatticePathFollowingTheSegment) {
+    const auto [dx, dy] = GetParam();
+    const point from{-7, 11};
+    const point to = from + point{dx, dy};
+    const std::int64_t d = l1_distance(from, to);
+    for (std::uint64_t seed = 0; seed < 20; ++seed) {
+        rng g = rng::seeded(seed);
+        const auto path = sample_direct_path(from, to, g);
+        ASSERT_EQ(path.size(), static_cast<std::size_t>(d) + 1);
+        EXPECT_EQ(path.front(), from);
+        EXPECT_EQ(path.back(), to);
+        for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+            ASSERT_TRUE(adjacent(path[i], path[i + 1])) << "i=" << i;
+        }
+        for (std::size_t i = 0; i < path.size(); ++i) {
+            // u_i ∈ R_i(u): the path crosses each ring exactly once (Def. 3.1).
+            ASSERT_EQ(l1_distance(from, path[i]), static_cast<std::int64_t>(i));
+            // Bresenham invariant: each coordinate stays within 1 of the real
+            // segment point w_i = from + (i/d)·(Δx, Δy).
+            const double wx = static_cast<double>(from.x) +
+                              static_cast<double>(i) * static_cast<double>(dx) / static_cast<double>(d);
+            const double wy = static_cast<double>(from.y) +
+                              static_cast<double>(i) * static_cast<double>(dy) / static_cast<double>(d);
+            EXPECT_LE(std::abs(static_cast<double>(path[i].x) - wx), 1.0 + 1e-9);
+            EXPECT_LE(std::abs(static_cast<double>(path[i].y) - wy), 1.0 + 1e-9);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Endpoints, DirectPathValidity,
+    ::testing::Values(endpoint_case{5, 3}, endpoint_case{3, 5}, endpoint_case{-4, 9},
+                      endpoint_case{9, -4}, endpoint_case{-6, -6}, endpoint_case{1, 1},
+                      endpoint_case{12, 1}, endpoint_case{1, 12}, endpoint_case{-17, 23},
+                      endpoint_case{100, 37}, endpoint_case{0, 7}, endpoint_case{-7, 0}));
+
+TEST(DirectPath, StepperAccountingIsConsistent) {
+    rng g = rng::seeded(5);
+    direct_path_stepper s({0, 0}, {4, 3});
+    EXPECT_EQ(s.length(), 7);
+    EXPECT_EQ(s.destination(), (point{4, 3}));
+    std::int64_t steps = 0;
+    while (!s.done()) {
+        const point p = s.advance(g);
+        ++steps;
+        EXPECT_EQ(s.taken(), steps);
+        EXPECT_EQ(s.position(), p);
+    }
+    EXPECT_EQ(steps, 7);
+    EXPECT_EQ(s.position(), (point{4, 3}));
+}
+
+TEST(DirectPath, DiagonalTieBreaksGoBothWays) {
+    // From (0,0) to (1,1): both (1,0) and (0,1) are equidistant from w_1 =
+    // (0.5, 0.5); over many samples both must appear.
+    bool saw_x = false, saw_y = false;
+    for (std::uint64_t seed = 0; seed < 64 && !(saw_x && saw_y); ++seed) {
+        rng g = rng::seeded(seed);
+        const auto path = sample_direct_path({0, 0}, {1, 1}, g);
+        if (path[1] == point{1, 0}) saw_x = true;
+        if (path[1] == point{0, 1}) saw_y = true;
+    }
+    EXPECT_TRUE(saw_x);
+    EXPECT_TRUE(saw_y);
+}
+
+TEST(DirectPath, HugeJumpStaysExact) {
+    // A ballistic-scale jump: positions remain on the ring at every probe.
+    const std::int64_t big = 1LL << 40;
+    rng g = rng::seeded(6);
+    direct_path_stepper s({0, 0}, {big, big / 3});
+    for (int i = 1; i <= 1000; ++i) {
+        const point p = s.advance(g);
+        ASSERT_EQ(l1_norm(p), i);
+    }
+    // The trajectory hugs the segment of slope 1/3 per unit x: after 1000
+    // steps, x ≈ 750, y ≈ 250 within one unit.
+    EXPECT_NEAR(static_cast<double>(s.position().x), 750.0, 2.0);
+    EXPECT_NEAR(static_cast<double>(s.position().y), 250.0, 2.0);
+}
+
+TEST(DirectPath, DeterministicGivenSeed) {
+    rng g1 = rng::seeded(42), g2 = rng::seeded(42);
+    EXPECT_EQ(sample_direct_path({0, 0}, {13, 8}, g1), sample_direct_path({0, 0}, {13, 8}, g2));
+}
+
+}  // namespace
+}  // namespace levy

@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/grid/ball.h"
+#include "src/grid/direct_path.h"
+#include "src/grid/ring.h"
+#include "src/rng/rng_stream.h"
+
+namespace levy {
+namespace {
+
+/// Randomized property sweeps over the geometric substrate: thousands of
+/// random instances per invariant, deterministic seeds. These complement the
+/// hand-picked cases in the sibling tests by walking the parameter space no
+/// one thought to enumerate.
+
+TEST(GeometryFuzz, RingIndexRoundTripsOnRandomNodes) {
+    rng g = rng::seeded(0xf001);
+    for (int i = 0; i < 20000; ++i) {
+        const point center{g.uniform_int(-1000000, 1000000), g.uniform_int(-1000000, 1000000)};
+        const std::int64_t d = g.uniform_int(1, 10000);
+        const std::uint64_t j = g.below(ring_size(d));
+        const point v = ring_node(center, d, j);
+        ASSERT_EQ(l1_distance(center, v), d);
+        ASSERT_EQ(ring_index(center, v), j);
+    }
+}
+
+TEST(GeometryFuzz, BallSamplesAlwaysInside) {
+    rng g = rng::seeded(0xf002);
+    for (int i = 0; i < 20000; ++i) {
+        const std::int64_t d = g.uniform_int(0, 100000);
+        const point center{g.uniform_int(-1000, 1000), g.uniform_int(-1000, 1000)};
+        ASSERT_LE(l1_distance(center, sample_ball(center, d, g)), d);
+    }
+}
+
+TEST(GeometryFuzz, DirectPathsAreAlwaysShortestAndRingAligned) {
+    rng g = rng::seeded(0xf003);
+    for (int trial = 0; trial < 3000; ++trial) {
+        const point from{g.uniform_int(-500, 500), g.uniform_int(-500, 500)};
+        const point to = from + point{g.uniform_int(-60, 60), g.uniform_int(-60, 60)};
+        direct_path_stepper s(from, to);
+        point prev = from;
+        std::int64_t steps = 0;
+        while (!s.done()) {
+            const point cur = s.advance(g);
+            ++steps;
+            ASSERT_TRUE(adjacent(prev, cur));
+            ASSERT_EQ(l1_distance(from, cur), steps);  // one ring per step
+            prev = cur;
+        }
+        ASSERT_EQ(steps, l1_distance(from, to));
+        ASSERT_EQ(prev, to);
+    }
+}
+
+TEST(GeometryFuzz, DirectPathsHugTheSegment) {
+    // Bresenham invariant on random instances: every node within L∞
+    // distance 1 of the real segment point at the same L1 parameter.
+    rng g = rng::seeded(0xf004);
+    for (int trial = 0; trial < 1000; ++trial) {
+        const point from{g.uniform_int(-100, 100), g.uniform_int(-100, 100)};
+        const std::int64_t dx = g.uniform_int(-200, 200);
+        const std::int64_t dy = g.uniform_int(-200, 200);
+        const point to = from + point{dx, dy};
+        const std::int64_t d = l1_distance(from, to);
+        if (d == 0) continue;
+        direct_path_stepper s(from, to);
+        std::int64_t i = 0;
+        while (!s.done()) {
+            const point cur = s.advance(g);
+            ++i;
+            const double wx = static_cast<double>(from.x) +
+                              static_cast<double>(i) * static_cast<double>(dx) /
+                                  static_cast<double>(d);
+            const double wy = static_cast<double>(from.y) +
+                              static_cast<double>(i) * static_cast<double>(dy) /
+                                  static_cast<double>(d);
+            ASSERT_LE(std::abs(static_cast<double>(cur.x) - wx), 1.0 + 1e-9);
+            ASSERT_LE(std::abs(static_cast<double>(cur.y) - wy), 1.0 + 1e-9);
+        }
+    }
+}
+
+TEST(GeometryFuzz, RingEnumerationAgreesWithMembership) {
+    rng g = rng::seeded(0xf005);
+    for (int trial = 0; trial < 200; ++trial) {
+        const std::int64_t d = g.uniform_int(1, 40);
+        std::uint64_t counted = 0;
+        for_each_ring_node(origin, d, [&](point p) {
+            ASSERT_TRUE(in_ball(origin, d, p));
+            ASSERT_FALSE(in_ball(origin, d - 1, p));
+            ++counted;
+        });
+        ASSERT_EQ(counted, ring_size(d));
+    }
+}
+
+TEST(GeometryFuzz, NormsSatisfyStandardInequalities) {
+    rng g = rng::seeded(0xf006);
+    for (int i = 0; i < 50000; ++i) {
+        const point p{g.uniform_int(-1000000000, 1000000000),
+                      g.uniform_int(-1000000000, 1000000000)};
+        // ‖p‖∞ ≤ ‖p‖₁ ≤ 2‖p‖∞ on Z².
+        ASSERT_LE(linf_norm(p), l1_norm(p));
+        ASSERT_LE(l1_norm(p), 2 * linf_norm(p) + (p == origin ? 0 : 0));
+        // Triangle inequality on random pairs.
+        const point q{g.uniform_int(-1000000, 1000000), g.uniform_int(-1000000, 1000000)};
+        ASSERT_LE(l1_distance(p, q), l1_norm(p) + l1_norm(q));
+    }
+}
+
+}  // namespace
+}  // namespace levy

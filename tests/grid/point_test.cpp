@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <unordered_set>
+
+#include "src/grid/point.h"
+
+namespace levy {
+namespace {
+
+TEST(Point, DefaultIsOrigin) {
+    constexpr point p{};
+    EXPECT_EQ(p, origin);
+}
+
+TEST(Point, Arithmetic) {
+    constexpr point a{3, -4}, b{-1, 2};
+    EXPECT_EQ(a + b, (point{2, -2}));
+    EXPECT_EQ(a - b, (point{4, -6}));
+    point c = a;
+    c += b;
+    EXPECT_EQ(c, (point{2, -2}));
+    c -= b;
+    EXPECT_EQ(c, a);
+}
+
+TEST(Point, Norms) {
+    constexpr point p{3, -4};
+    EXPECT_EQ(l1_norm(p), 7);
+    EXPECT_EQ(linf_norm(p), 4);
+    EXPECT_EQ(l2_norm_sq(p), 25);
+    EXPECT_DOUBLE_EQ(l2_norm(p), 5.0);
+    EXPECT_EQ(l1_norm(origin), 0);
+    EXPECT_EQ(linf_norm(origin), 0);
+}
+
+TEST(Point, NormsAreConstexpr) {
+    static_assert(l1_norm(point{1, -2}) == 3);
+    static_assert(linf_norm(point{1, -2}) == 2);
+    static_assert(abs64(-5) == 5);
+    SUCCEED();
+}
+
+TEST(Point, Distances) {
+    constexpr point a{1, 1}, b{4, -3};
+    EXPECT_EQ(l1_distance(a, b), 7);
+    EXPECT_EQ(linf_distance(a, b), 4);
+    EXPECT_EQ(l1_distance(a, a), 0);
+}
+
+TEST(Point, Adjacency) {
+    constexpr point p{5, 5};
+    EXPECT_TRUE(adjacent(p, {6, 5}));
+    EXPECT_TRUE(adjacent(p, {5, 4}));
+    EXPECT_FALSE(adjacent(p, p));
+    EXPECT_FALSE(adjacent(p, {6, 6}));
+}
+
+TEST(Point, StreamOutput) {
+    std::ostringstream ss;
+    ss << point{-2, 7};
+    EXPECT_EQ(ss.str(), "(-2, 7)");
+}
+
+TEST(PointHash, WorksInUnorderedSet) {
+    std::unordered_set<point, point_hash> s;
+    for (std::int64_t x = -10; x <= 10; ++x) {
+        for (std::int64_t y = -10; y <= 10; ++y) s.insert({x, y});
+    }
+    EXPECT_EQ(s.size(), 21u * 21u);
+    EXPECT_TRUE(s.contains({0, 0}));
+    EXPECT_FALSE(s.contains({11, 0}));
+}
+
+TEST(PointHash, LowCollisionOnGrid) {
+    // All hashes distinct on a 101×101 patch (not guaranteed in general, but
+    // any collision here would indicate a weak mix).
+    std::unordered_set<std::size_t> hashes;
+    point_hash h;
+    for (std::int64_t x = -50; x <= 50; ++x) {
+        for (std::int64_t y = -50; y <= 50; ++y) hashes.insert(h({x, y}));
+    }
+    EXPECT_EQ(hashes.size(), 101u * 101u);
+}
+
+TEST(Point, HugeCoordinatesDoNotOverflowNorms) {
+    constexpr std::int64_t big = (1LL << 62) - 1;
+    EXPECT_EQ(l1_norm(point{big, 0}), big);
+    EXPECT_EQ(linf_norm(point{-big, big}), big);
+}
+
+}  // namespace
+}  // namespace levy

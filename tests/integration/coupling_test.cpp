@@ -1,0 +1,82 @@
+#include <gtest/gtest.h>
+
+#include "src/core/levy_walk.h"
+#include "src/core/parallel_search.h"
+
+namespace levy {
+namespace {
+
+/// Coupling tests: deterministic dominance relations that hold *per
+/// realization* (not just in expectation) because walks are pure functions
+/// of their streams. Stronger than any statistical test.
+
+TEST(Coupling, HitProbabilityMonotoneInBudget) {
+    // Same stream, larger budget ⇒ hit implies hit, time unchanged.
+    for (std::uint64_t seed = 0; seed < 100; ++seed) {
+        levy_walk w_small(2.4, rng::seeded(seed));
+        levy_walk w_large(2.4, rng::seeded(seed));
+        const auto small = hit_within(w_small, point{8, 0}, 500);
+        const auto large = hit_within(w_large, point{8, 0}, 5000);
+        if (small.hit) {
+            ASSERT_TRUE(large.hit) << "seed " << seed;
+            ASSERT_EQ(large.time, small.time) << "seed " << seed;
+        }
+    }
+}
+
+TEST(Coupling, ParallelTimeMonotoneInK) {
+    // Walk i's stream depends only on (trial stream, i), so the fleet of
+    // k+8 walks contains the fleet of k walks: the parallel minimum can
+    // only improve, realization by realization.
+    const point target{10, 0};
+    const std::uint64_t budget = 3000;
+    for (std::uint64_t seed = 0; seed < 60; ++seed) {
+        const rng trial = rng::seeded(seed);
+        const auto small = parallel_hit(4, fixed_exponent(2.4), target, budget, trial);
+        const auto large = parallel_hit(12, fixed_exponent(2.4), target, budget, trial);
+        if (small.hit) {
+            ASSERT_TRUE(large.hit) << "seed " << seed;
+            ASSERT_LE(large.time, small.time) << "seed " << seed;
+        }
+    }
+}
+
+TEST(Coupling, SupersetStrategiesKeepWinners) {
+    // With identical per-index exponents, the k-prefix winner is preserved
+    // unless a later walk strictly beats it.
+    const point target{6, 0};
+    for (std::uint64_t seed = 0; seed < 40; ++seed) {
+        const rng trial = rng::seeded(seed);
+        const auto small = parallel_hit(3, uniform_exponent(), target, 2000, trial);
+        const auto large = parallel_hit(9, uniform_exponent(), target, 2000, trial);
+        if (small.hit) {
+            ASSERT_TRUE(large.hit);
+            if (large.time == small.time) {
+                ASSERT_EQ(large.winner, small.winner) << "seed " << seed;
+            } else {
+                ASSERT_LT(large.time, small.time) << "seed " << seed;
+                ASSERT_GE(large.winner, 3u) << "seed " << seed;
+            }
+        }
+    }
+}
+
+TEST(Coupling, CapOnlyDelaysTheWalk) {
+    // A capped walk draws the same phase sequence as its uncapped twin only
+    // until the first over-cap jump, after which they diverge — but the cap
+    // can never let the walk move farther per step. Check the per-step unit
+    // bound survives under caps (structural invariant, all realizations).
+    for (std::uint64_t seed = 0; seed < 20; ++seed) {
+        levy_walk capped(1.8, rng::seeded(seed), origin, /*cap=*/5);
+        point prev = capped.position();
+        for (int s = 0; s < 2000; ++s) {
+            const point next = capped.step();
+            ASSERT_LE(l1_distance(prev, next), 1);
+            prev = next;
+        }
+        ASSERT_LE(capped.current_jump_length(), 5u);
+    }
+}
+
+}  // namespace
+}  // namespace levy

@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+
+#include "src/core/levy_flight.h"
+#include "src/grid/point.h"
+#include "src/sim/monte_carlo.h"
+
+namespace levy {
+namespace {
+
+/// Lemma 3.9 (monotonicity): for a monotone radial jump process — the Lévy
+/// flight qualifies — and any nodes u, v with ‖v‖∞ ≥ ‖u‖₁,
+/// P(J_t = u) ≥ P(J_t = v) at every step t. We estimate occupancy
+/// probabilities by Monte Carlo and check the ordering with statistical
+/// slack on several (u, v) pairs straddling different distance scales.
+
+struct occupancy {
+    std::uint64_t at_u = 0;
+    std::uint64_t at_v = 0;
+};
+
+occupancy estimate(double alpha, std::uint64_t t, point u, point v, std::size_t trials,
+                   std::uint64_t seed) {
+    const auto hits = sim::monte_carlo_collect(
+        {.trials = trials, .threads = 0, .seed = seed}, [&](std::size_t, rng& g) {
+            levy_flight f(alpha, g);
+            for (std::uint64_t i = 0; i < t; ++i) f.step();
+            const point p = f.position();
+            return (p == u) ? 1 : (p == v) ? 2 : 0;
+        });
+    occupancy out;
+    for (int h : hits) {
+        out.at_u += (h == 1);
+        out.at_v += (h == 2);
+    }
+    return out;
+}
+
+struct mono_case {
+    point u;
+    point v;
+};
+
+class Monotonicity : public ::testing::TestWithParam<mono_case> {};
+
+TEST_P(Monotonicity, CloserNodesAreMoreOccupied) {
+    const auto [u, v] = GetParam();
+    ASSERT_GE(linf_norm(v), l1_norm(u)) << "test case violates lemma precondition";
+    const std::size_t trials = 400000;
+    const auto occ = estimate(2.2, /*t=*/4, u, v,
+                              trials, /*seed=*/0x3939 + static_cast<std::uint64_t>(l1_norm(u)));
+    // Allow 4 binomial sigmas of slack on the difference.
+    const double pu = static_cast<double>(occ.at_u) / static_cast<double>(trials);
+    const double pv = static_cast<double>(occ.at_v) / static_cast<double>(trials);
+    const double sigma = std::sqrt((pu + pv) / static_cast<double>(trials));
+    EXPECT_GE(pu + 4.0 * sigma, pv) << "u=(" << u.x << "," << u.y << ") occupancy " << pu
+                                    << " vs v=(" << v.x << "," << v.y << ") occupancy " << pv;
+}
+
+INSTANTIATE_TEST_SUITE_P(Pairs, Monotonicity,
+                         ::testing::Values(mono_case{{1, 0}, {0, 3}},   // ‖u‖₁=1 ≤ ‖v‖∞=3
+                                           mono_case{{1, 1}, {2, 2}},   // 2 ≤ 2 (boundary)
+                                           mono_case{{2, 0}, {4, 4}},   // 2 ≤ 4
+                                           mono_case{{0, 2}, {-5, 1}},  // 2 ≤ 5
+                                           mono_case{{3, 1}, {6, -6}}   // 4 ≤ 6
+                                           ));
+
+TEST(Monotonicity, OriginIsTheMostLikelyNode) {
+    // ‖v‖∞ ≥ 0 = ‖0‖₁ for every v: the origin dominates everything.
+    const std::size_t trials = 300000;
+    const auto occ = estimate(2.5, /*t=*/3, origin, {1, 1}, trials, 0x111);
+    EXPECT_GT(occ.at_u, occ.at_v);
+}
+
+TEST(Monotonicity, HoldsUnderJumpCapToo) {
+    // Remark 4.9: the lemma survives conditioning on capped jumps.
+    const std::size_t trials = 300000;
+    const auto hits = sim::monte_carlo_collect(
+        {.trials = trials, .threads = 0, .seed = 0x222}, [&](std::size_t, rng& g) {
+            levy_flight f(2.2, g, origin, /*cap=*/20);
+            for (int i = 0; i < 4; ++i) f.step();
+            const point p = f.position();
+            return (p == point{1, 0}) ? 1 : (p == point{0, 4}) ? 2 : 0;
+        });
+    std::uint64_t at_u = 0, at_v = 0;
+    for (int h : hits) {
+        at_u += (h == 1);
+        at_v += (h == 2);
+    }
+    EXPECT_GT(at_u, at_v);
+}
+
+}  // namespace
+}  // namespace levy

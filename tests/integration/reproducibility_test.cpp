@@ -1,0 +1,53 @@
+#include <gtest/gtest.h>
+
+#include "src/sim/trial.h"
+
+namespace levy::sim {
+namespace {
+
+TEST(Reproducibility, SingleWalkProbabilityIndependentOfThreads) {
+    const single_walk_config cfg{.alpha = 2.5, .ell = 12, .budget = 1500};
+    const auto p1 = single_hit_probability(cfg, {.trials = 400, .threads = 1, .seed = 11});
+    const auto p8 = single_hit_probability(cfg, {.trials = 400, .threads = 8, .seed = 11});
+    EXPECT_EQ(p1.successes, p8.successes);
+}
+
+TEST(Reproducibility, ParallelHittingTimesBitIdenticalAcrossThreads) {
+    parallel_walk_config cfg;
+    cfg.k = 8;
+    cfg.strategy = uniform_exponent();
+    cfg.ell = 16;
+    cfg.budget = 4000;
+    const auto a = parallel_hitting_times(cfg, {.trials = 120, .threads = 1, .seed = 21});
+    const auto b = parallel_hitting_times(cfg, {.trials = 120, .threads = 6, .seed = 21});
+    EXPECT_EQ(a.hits, b.hits);
+    EXPECT_EQ(a.times, b.times);
+}
+
+TEST(Reproducibility, DifferentSeedsGiveDifferentSamples) {
+    parallel_walk_config cfg;
+    cfg.k = 4;
+    cfg.strategy = fixed_exponent(2.4);
+    cfg.ell = 16;
+    cfg.budget = 4000;
+    const auto a = parallel_hitting_times(cfg, {.trials = 60, .threads = 2, .seed = 1});
+    const auto b = parallel_hitting_times(cfg, {.trials = 60, .threads = 2, .seed = 2});
+    EXPECT_NE(a.times, b.times);
+}
+
+TEST(Reproducibility, RerunIsExactlyStable) {
+    // The full stack (strategy draws, walk phases, tie-breaks) replays
+    // identically — the guarantee EXPERIMENTS.md relies on.
+    parallel_walk_config cfg;
+    cfg.k = 16;
+    cfg.strategy = uniform_exponent();
+    cfg.ell = 24;
+    cfg.budget = 6000;
+    const mc_options opts{.trials = 50, .threads = 0, .seed = 77};
+    const auto a = parallel_hitting_times(cfg, opts);
+    const auto b = parallel_hitting_times(cfg, opts);
+    EXPECT_EQ(a.times, b.times);
+}
+
+}  // namespace
+}  // namespace levy::sim

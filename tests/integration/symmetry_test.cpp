@@ -1,0 +1,69 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/core/hitting.h"
+#include "src/core/levy_walk.h"
+#include "src/sim/monte_carlo.h"
+
+namespace levy {
+namespace {
+
+/// The lattice, the jump law, the uniform ring sampling and the direct-path
+/// tie-breaks are all invariant under the dihedral symmetries of Z², so the
+/// hitting probability of a target depends only on its orbit. We verify the
+/// four axis images of (ℓ, 0) and the four diagonal images of (a, a) agree.
+
+double hit_probability(point target, std::uint64_t budget, std::size_t trials,
+                       std::uint64_t seed) {
+    const auto p = sim::estimate_probability(
+        {.trials = trials, .threads = 0, .seed = seed}, [&](std::size_t, rng& g) {
+            levy_walk w(2.5, g);
+            return hit_within(w, target, budget).hit;
+        });
+    return p.estimate();
+}
+
+TEST(Symmetry, AxisTargetsAreEquallyLikely) {
+    const std::int64_t ell = 8;
+    const std::uint64_t budget = 600;
+    const std::size_t trials = 4000;
+    const double px = hit_probability({ell, 0}, budget, trials, 1);
+    const double pnx = hit_probability({-ell, 0}, budget, trials, 2);
+    const double py = hit_probability({0, ell}, budget, trials, 3);
+    const double pny = hit_probability({0, -ell}, budget, trials, 4);
+    ASSERT_GT(px, 0.01);  // sanity: the event is observable at this scale
+    // 4-sigma binomial tolerance.
+    const double tol = 4.0 * std::sqrt(px * (1.0 - px) / static_cast<double>(trials)) * 2.0;
+    EXPECT_NEAR(pnx, px, tol);
+    EXPECT_NEAR(py, px, tol);
+    EXPECT_NEAR(pny, px, tol);
+}
+
+TEST(Symmetry, DiagonalTargetsAreEquallyLikely) {
+    const std::int64_t a = 5;
+    const std::uint64_t budget = 600;
+    const std::size_t trials = 4000;
+    const double p1 = hit_probability({a, a}, budget, trials, 5);
+    const double p2 = hit_probability({-a, a}, budget, trials, 6);
+    const double p3 = hit_probability({a, -a}, budget, trials, 7);
+    const double p4 = hit_probability({-a, -a}, budget, trials, 8);
+    ASSERT_GT(p1, 0.01);
+    const double tol = 4.0 * std::sqrt(p1 * (1.0 - p1) / static_cast<double>(trials)) * 2.0;
+    EXPECT_NEAR(p2, p1, tol);
+    EXPECT_NEAR(p3, p1, tol);
+    EXPECT_NEAR(p4, p1, tol);
+}
+
+TEST(Symmetry, TransposedTargetMatchesAxisSwap) {
+    const std::uint64_t budget = 600;
+    const std::size_t trials = 4000;
+    const double p_36 = hit_probability({3, 6}, budget, trials, 9);
+    const double p_63 = hit_probability({6, 3}, budget, trials, 10);
+    ASSERT_GT(p_36, 0.005);
+    const double tol = 4.0 * std::sqrt(p_36 * (1.0 - p_36) / static_cast<double>(trials)) * 2.0;
+    EXPECT_NEAR(p_63, p_36, tol);
+}
+
+}  // namespace
+}  // namespace levy

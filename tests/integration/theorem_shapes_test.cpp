@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/core/levy_walk.h"
+#include "src/core/strategy.h"
+#include "src/core/theory.h"
+#include "src/sim/trial.h"
+#include "src/stats/summary.h"
+
+namespace levy::sim {
+namespace {
+
+/// Coarse end-to-end checks that the headline theorem *shapes* show up at
+/// laptop scale. The bench harness (bench/) measures these precisely; here
+/// we pin qualitative orderings with wide margins so the suite stays fast
+/// and deterministic (fixed seeds throughout).
+
+TEST(TheoremShapes, NearOptimalExponentBeatsFarOffExponents) {
+    // Cor 4.2: at (k, ℓ) = (16, 64), α* = 3 − log16/log64 ≈ 2.33. A common
+    // exponent near α* should hit far more often within the optimal budget
+    // than α close to 3 (walks too local to reach ℓ reliably... they do
+    // reach but slowly) and than α close to 2 (walks overshoot).
+    const std::int64_t ell = 64;
+    const std::size_t k = 16;
+    const double alpha_star = optimal_alpha(static_cast<double>(k), static_cast<double>(ell));
+    const std::uint64_t budget = 4 * ell * ell / k;  // ~Θ(ℓ²/k)
+
+    const auto prob_at = [&](double alpha, std::uint64_t seed) {
+        parallel_walk_config cfg;
+        cfg.k = k;
+        cfg.strategy = fixed_exponent(alpha);
+        cfg.ell = ell;
+        cfg.budget = budget;
+        return parallel_hit_probability(cfg, {.trials = 200, .threads = 0, .seed = seed})
+            .estimate();
+    };
+
+    const double p_star = prob_at(alpha_star, 101);
+    const double p_low = prob_at(2.02, 102);
+    const double p_high = prob_at(2.97, 103);
+    EXPECT_GT(p_star, p_low) << "alpha*=" << alpha_star;
+    EXPECT_GT(p_star, p_high) << "alpha*=" << alpha_star;
+}
+
+TEST(TheoremShapes, ParallelSpeedupGrowsWithK) {
+    // Thm 1.5 flavor: more walks, faster parallel hitting (median censored
+    // time decreases markedly from k=2 to k=32).
+    const std::int64_t ell = 48;
+    const std::uint64_t budget = 20000;
+    const auto median_time = [&](std::size_t k, std::uint64_t seed) {
+        parallel_walk_config cfg;
+        cfg.k = k;
+        cfg.strategy = fixed_exponent(optimal_alpha(static_cast<double>(k),
+                                                    static_cast<double>(ell)));
+        cfg.ell = ell;
+        cfg.budget = budget;
+        const auto sample = parallel_hitting_times(cfg, {.trials = 120, .threads = 0, .seed = seed});
+        return stats::median(sample.times);
+    };
+    const double t2 = median_time(2, 201);
+    const double t32 = median_time(32, 202);
+    EXPECT_LT(t32, t2 / 2.0);
+}
+
+TEST(TheoremShapes, RandomExponentStrategyWorksAcrossDistances) {
+    // Thm 1.6: with no knowledge of ℓ, U(2,3) exponents find targets at both
+    // ℓ=16 and ℓ=64 within the theorem's budget shape, w.h.p.
+    for (const std::int64_t ell : {16L, 64L}) {
+        parallel_walk_config cfg;
+        cfg.k = 32;
+        cfg.strategy = uniform_exponent();
+        cfg.ell = ell;
+        // 50× the universal lower bound ℓ²/k + ℓ — far below the theorem's
+        // polylog-laden budget (which makes the test needlessly slow) but
+        // empirically ample for w.h.p. hits at this scale.
+        cfg.budget = static_cast<std::uint64_t>(
+            50.0 * theory::universal_lower_bound(32.0, static_cast<double>(ell)));
+        const auto p = parallel_hit_probability(
+            cfg, {.trials = 60, .threads = 0, .seed = 300 + static_cast<std::uint64_t>(ell)});
+        EXPECT_GT(p.estimate(), 0.6) << "ell=" << ell;
+    }
+}
+
+TEST(TheoremShapes, RandomStrategyNearOracle) {
+    // The randomized strategy's hit rate at matched budget is within a
+    // modest factor of the oracle fixed-α* strategy.
+    const std::int64_t ell = 64;
+    const std::size_t k = 32;
+    const std::uint64_t budget = 6 * ell * ell / k;
+    parallel_walk_config oracle, randomized;
+    oracle.k = randomized.k = k;
+    oracle.ell = randomized.ell = ell;
+    oracle.budget = randomized.budget = budget;
+    oracle.strategy = fixed_exponent(optimal_alpha(static_cast<double>(k),
+                                                   static_cast<double>(ell)));
+    randomized.strategy = uniform_exponent();
+    const auto p_oracle = parallel_hit_probability(oracle, {.trials = 150, .threads = 0, .seed = 401});
+    const auto p_rand = parallel_hit_probability(randomized, {.trials = 150, .threads = 0, .seed = 402});
+    EXPECT_GT(p_rand.estimate(), 0.25 * p_oracle.estimate());
+}
+
+TEST(TheoremShapes, BallisticRegimeCoversDistanceFast) {
+    // Thm 1.3(a): with α ≤ 2 a single walk reaches distance ℓ in O(ℓ) steps
+    // (it just rarely points at the target). Check the reach, not the hit:
+    // max displacement within 4ℓ steps exceeds ℓ in most runs.
+    const std::int64_t ell = 200;
+    int reached = 0;
+    const int trials = 100;
+    for (int i = 0; i < trials; ++i) {
+        levy_walk w(1.5, rng::seeded(500 + static_cast<std::uint64_t>(i)));
+        std::int64_t max_disp = 0;
+        for (std::int64_t s = 0; s < 4 * ell; ++s) {
+            w.step();
+            max_disp = std::max(max_disp, l1_norm(w.position()));
+        }
+        reached += (max_disp >= ell);
+    }
+    EXPECT_GT(reached, trials / 2);
+}
+
+TEST(TheoremShapes, DiffusiveWalksStayLocal) {
+    // Thm 1.2 counterpart: α = 3.5 walks in t = ℓ steps rarely wander to
+    // distance ℓ (they need ~ℓ² steps).
+    const std::int64_t ell = 200;
+    int reached = 0;
+    const int trials = 100;
+    for (int i = 0; i < trials; ++i) {
+        levy_walk w(3.5, rng::seeded(600 + static_cast<std::uint64_t>(i)));
+        std::int64_t max_disp = 0;
+        for (std::int64_t s = 0; s < ell; ++s) {
+            w.step();
+            max_disp = std::max(max_disp, l1_norm(w.position()));
+        }
+        reached += (max_disp >= ell);
+    }
+    EXPECT_LT(reached, trials / 4);
+}
+
+}  // namespace
+}  // namespace levy::sim

@@ -1,0 +1,100 @@
+// A small statistical battery over the rng stack, using the library's own
+// goodness-of-fit tools. Not a replacement for TestU01 — a regression net
+// that catches gross seeding/output bugs.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "src/rng/rng_stream.h"
+#include "src/stats/goodness_of_fit.h"
+
+namespace levy {
+namespace {
+
+TEST(RngBattery, MonobitFrequency) {
+    // Count of set bits over n·64 bits ~ Normal(n·32, n·16).
+    rng g = rng::seeded(101);
+    const int n = 100000;
+    std::int64_t ones = 0;
+    for (int i = 0; i < n; ++i) ones += std::popcount(g());
+    const double mean = 32.0 * n;
+    const double sigma = std::sqrt(16.0 * n);
+    EXPECT_NEAR(static_cast<double>(ones), mean, 5.0 * sigma);
+}
+
+TEST(RngBattery, ByteChiSquareIsUniform) {
+    rng g = rng::seeded(102);
+    std::vector<std::uint64_t> counts(256, 0);
+    const std::uint64_t n = 200000;
+    for (std::uint64_t i = 0; i < n; ++i) {
+        const std::uint64_t x = g();
+        for (int b = 0; b < 8; ++b) ++counts[(x >> (8 * b)) & 0xff];
+    }
+    const std::vector<double> probs(256, 1.0 / 256.0);
+    const auto result = stats::chi_square_test(counts, probs, 8 * n);
+    EXPECT_GT(result.p_value, 1e-4);
+}
+
+TEST(RngBattery, RunsTestOnBitstream) {
+    // Number of 01/10 alternations in a fair bit sequence of length m is
+    // ~ Normal(m/2, m/4).
+    rng g = rng::seeded(103);
+    const int m = 400000;
+    int runs = 0;
+    bool prev = g.coin();
+    for (int i = 1; i < m; ++i) {
+        const bool cur = g.coin();
+        runs += (cur != prev);
+        prev = cur;
+    }
+    const double mean = (m - 1) / 2.0;
+    const double sigma = std::sqrt((m - 1) / 4.0);
+    EXPECT_NEAR(static_cast<double>(runs), mean, 5.0 * sigma);
+}
+
+TEST(RngBattery, SerialCorrelationOfUniformsIsTiny) {
+    rng g = rng::seeded(104);
+    const int n = 200000;
+    double prev = g.uniform();
+    double sum_xy = 0.0, sum_x = 0.0, sum_x2 = 0.0;
+    for (int i = 0; i < n; ++i) {
+        const double cur = g.uniform();
+        sum_xy += prev * cur;
+        sum_x += prev;
+        sum_x2 += prev * prev;
+        prev = cur;
+    }
+    const double mean = sum_x / n;
+    const double var = sum_x2 / n - mean * mean;
+    const double cov = sum_xy / n - mean * mean;
+    const double corr = cov / var;
+    EXPECT_LT(std::abs(corr), 0.01);  // 4.5σ ≈ 0.01 at n = 2e5
+}
+
+TEST(RngBattery, SubstreamsAreCrossUncorrelated) {
+    const rng master = rng::seeded(105);
+    rng a = master.substream(1);
+    rng b = master.substream(2);
+    const int n = 100000;
+    double dot = 0.0;
+    for (int i = 0; i < n; ++i) {
+        dot += (a.uniform() - 0.5) * (b.uniform() - 0.5);
+    }
+    // E = 0, sigma = sqrt(n)/12 for the sum.
+    EXPECT_LT(std::abs(dot), 5.0 * std::sqrt(static_cast<double>(n)) / 12.0);
+}
+
+TEST(RngBattery, KsUniformityOfDoubles) {
+    rng g1 = rng::seeded(106), g2 = rng::seeded(107);
+    std::vector<double> a, b;
+    for (int i = 0; i < 5000; ++i) {
+        a.push_back(g1.uniform());
+        b.push_back(g2.uniform());
+    }
+    EXPECT_GT(stats::ks_p_value(a, b), 1e-4);
+}
+
+}  // namespace
+}  // namespace levy

@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "src/rng/rng_stream.h"
+
+namespace levy {
+namespace {
+
+TEST(RngStream, SeededIsDeterministic) {
+    rng a = rng::seeded(5), b = rng::seeded(5);
+    for (int i = 0; i < 100; ++i) ASSERT_EQ(a(), b());
+}
+
+TEST(RngStream, SubstreamIndependentOfDrawPosition) {
+    rng a = rng::seeded(5);
+    rng b = rng::seeded(5);
+    for (int i = 0; i < 57; ++i) b();  // advance b only
+    rng sub_a = a.substream(3);
+    rng sub_b = b.substream(3);
+    for (int i = 0; i < 100; ++i) ASSERT_EQ(sub_a(), sub_b());
+}
+
+TEST(RngStream, SubstreamsDiverge) {
+    rng master = rng::seeded(7);
+    rng s0 = master.substream(0);
+    rng s1 = master.substream(1);
+    int equal = 0;
+    for (int i = 0; i < 64; ++i) equal += (s0() == s1());
+    EXPECT_EQ(equal, 0);
+}
+
+TEST(RngStream, UniformInUnitInterval) {
+    rng g = rng::seeded(11);
+    double sum = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) {
+        const double u = g.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(RngStream, UniformPositiveNeverZero) {
+    rng g = rng::seeded(12);
+    for (int i = 0; i < 100000; ++i) {
+        const double u = g.uniform_positive();
+        ASSERT_GT(u, 0.0);
+        ASSERT_LE(u, 1.0);
+    }
+}
+
+TEST(RngStream, UniformRangeRespectsBounds) {
+    rng g = rng::seeded(13);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = g.uniform(2.0, 3.0);
+        ASSERT_GE(u, 2.0);
+        ASSERT_LT(u, 3.0);
+    }
+}
+
+TEST(RngStream, BelowStaysBelowAndCoversRange) {
+    rng g = rng::seeded(14);
+    std::vector<int> counts(10, 0);
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) {
+        const std::uint64_t v = g.below(10);
+        ASSERT_LT(v, 10u);
+        ++counts[v];
+    }
+    // Each bucket expected 10%; 4 sigma ≈ 0.4%.
+    for (int c : counts) EXPECT_NEAR(static_cast<double>(c) / n, 0.1, 0.005);
+}
+
+TEST(RngStream, BelowOneAlwaysZero) {
+    rng g = rng::seeded(15);
+    for (int i = 0; i < 100; ++i) ASSERT_EQ(g.below(1), 0u);
+}
+
+TEST(RngStream, UniformIntInclusiveBounds) {
+    rng g = rng::seeded(16);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 10000; ++i) {
+        const std::int64_t v = g.uniform_int(-3, 3);
+        ASSERT_GE(v, -3);
+        ASSERT_LE(v, 3);
+        saw_lo |= (v == -3);
+        saw_hi |= (v == 3);
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngStream, CoinIsRoughlyFair) {
+    rng g = rng::seeded(17);
+    int heads = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) heads += g.coin();
+    EXPECT_NEAR(static_cast<double>(heads) / n, 0.5, 0.01);
+}
+
+TEST(RngStream, BernoulliMatchesProbability) {
+    rng g = rng::seeded(18);
+    int hits = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) hits += g.bernoulli(0.2);
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.2, 0.01);
+}
+
+TEST(RngStream, SeedAccessorReflectsConstruction) {
+    EXPECT_EQ(rng::seeded(99).seed(), 99u);
+}
+
+}  // namespace
+}  // namespace levy

@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "src/rng/zeta.h"
+
+namespace levy {
+namespace {
+
+TEST(RiemannZeta, KnownValues) {
+    EXPECT_NEAR(riemann_zeta(2.0), std::numbers::pi * std::numbers::pi / 6.0, 1e-10);
+    EXPECT_NEAR(riemann_zeta(3.0), 1.2020569031595942854, 1e-10);
+    EXPECT_NEAR(riemann_zeta(4.0), std::pow(std::numbers::pi, 4) / 90.0, 1e-10);
+    EXPECT_NEAR(riemann_zeta(6.0), std::pow(std::numbers::pi, 6) / 945.0, 1e-9);
+}
+
+TEST(RiemannZeta, NearOneBlowsUpLikeOneOverSMinusOne) {
+    // ζ(s) ~ 1/(s-1) + γ as s → 1⁺ (γ = Euler–Mascheroni).
+    constexpr double kGamma = 0.5772156649015329;
+    EXPECT_NEAR(riemann_zeta(1.01), 1.0 / 0.01 + kGamma, 0.01);
+    EXPECT_NEAR(riemann_zeta(1.1), 1.0 / 0.1 + kGamma, 0.05);
+}
+
+TEST(RiemannZeta, RejectsInvalidArguments) {
+    EXPECT_THROW((void)riemann_zeta(1.0), std::invalid_argument);
+    EXPECT_THROW((void)riemann_zeta(0.5), std::invalid_argument);
+}
+
+TEST(RiemannZeta, MonotoneDecreasingTowardOne) {
+    // ζ is strictly decreasing on (1, ∞) and → 1 as s → ∞.
+    double prev = riemann_zeta(1.5);
+    for (double s = 2.0; s <= 12.0; s += 0.5) {
+        const double z = riemann_zeta(s);
+        EXPECT_LT(z, prev);
+        prev = z;
+    }
+    EXPECT_NEAR(riemann_zeta(30.0), 1.0, 1e-9);
+}
+
+TEST(Harmonic, SmallValuesExact) {
+    EXPECT_DOUBLE_EQ(harmonic(0, 2.0), 0.0);
+    EXPECT_DOUBLE_EQ(harmonic(1, 2.0), 1.0);
+    EXPECT_NEAR(harmonic(3, 1.0), 1.0 + 0.5 + 1.0 / 3.0, 1e-14);
+    EXPECT_NEAR(harmonic(4, 2.0), 1.0 + 0.25 + 1.0 / 9.0 + 1.0 / 16.0, 1e-14);
+}
+
+class HarmonicLargeN : public ::testing::TestWithParam<double> {};
+
+TEST_P(HarmonicLargeN, MatchesDirectSummation) {
+    const double s = GetParam();
+    const std::uint64_t n = 100000;
+    double direct = 0.0;
+    for (std::uint64_t k = 1; k <= n; ++k) direct += std::pow(static_cast<double>(k), -s);
+    EXPECT_NEAR(harmonic(n, s), direct, std::abs(direct) * 1e-10 + 1e-10) << "s=" << s;
+}
+
+// Covers the ballistic (s = α-1 < 1), Cauchy (s = 1), and super-diffusive
+// ranges that mean_capped exercises.
+INSTANTIATE_TEST_SUITE_P(Exponents, HarmonicLargeN,
+                         ::testing::Values(0.2, 0.5, 0.9, 1.0, 1.1, 1.5, 2.0, 2.5, 3.0));
+
+TEST(ZetaTail, FirstTermIsWholeSeries) {
+    EXPECT_NEAR(zeta_tail(1, 2.5), riemann_zeta(2.5), 1e-12);
+}
+
+TEST(ZetaTail, ConsistentWithHarmonicComplement) {
+    for (const std::uint64_t i : {2ULL, 5ULL, 17ULL, 100ULL, 5000ULL}) {
+        const double s = 2.2;
+        EXPECT_NEAR(zeta_tail(i, s), riemann_zeta(s) - harmonic(i - 1, s), 1e-10) << "i=" << i;
+    }
+}
+
+TEST(ZetaTail, MatchesAsymptoticShape) {
+    // Σ_{k≥i} k^{-s} ≈ i^{1-s}/(s-1) for large i (Eq. 4's Θ(1/i^{α-1})).
+    const double s = 2.5;
+    for (const std::uint64_t i : {1000ULL, 10000ULL}) {
+        const double expected = std::pow(static_cast<double>(i), 1.0 - s) / (s - 1.0);
+        EXPECT_NEAR(zeta_tail(i, s) / expected, 1.0, 0.01) << "i=" << i;
+    }
+}
+
+TEST(ZetaTail, StrictlyDecreasingInI) {
+    double prev = zeta_tail(1, 3.0);
+    for (std::uint64_t i = 2; i < 40; ++i) {
+        const double t = zeta_tail(i, 3.0);
+        EXPECT_LT(t, prev);
+        prev = t;
+    }
+}
+
+}  // namespace
+}  // namespace levy

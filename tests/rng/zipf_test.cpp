@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include "src/rng/rng_stream.h"
+#include "src/rng/zeta.h"
+#include "src/rng/zipf.h"
+
+namespace levy {
+namespace {
+
+TEST(ZipfSampler, RejectsAlphaAtOrBelowOne) {
+    EXPECT_THROW(zipf_sampler(1.0), std::invalid_argument);
+    EXPECT_THROW(zipf_sampler(0.5), std::invalid_argument);
+}
+
+TEST(ZipfSampler, ProducesPositiveValues) {
+    zipf_sampler z(2.0);
+    rng g = rng::seeded(1);
+    for (int i = 0; i < 10000; ++i) ASSERT_GE(z(g), 1u);
+}
+
+/// Devroye sampler vs the exact pmf, for small values where the pmf mass is
+/// large enough to estimate tightly.
+class ZipfPmf : public ::testing::TestWithParam<double> {};
+
+TEST_P(ZipfPmf, EmpiricalPmfMatchesExactLaw) {
+    const double alpha = GetParam();
+    zipf_sampler z(alpha);
+    rng g = rng::seeded(0xabcd);
+    const int n = 400000;
+    std::map<std::uint64_t, int> counts;
+    for (int i = 0; i < n; ++i) ++counts[z(g)];
+    const double inv_zeta = 1.0 / riemann_zeta(alpha);
+    for (std::uint64_t k = 1; k <= 5; ++k) {
+        const double expected = std::pow(static_cast<double>(k), -alpha) * inv_zeta;
+        const double observed = static_cast<double>(counts[k]) / n;
+        // 5-sigma binomial band.
+        const double sigma = std::sqrt(expected * (1.0 - expected) / n);
+        EXPECT_NEAR(observed, expected, 5.0 * sigma + 1e-9)
+            << "alpha=" << alpha << " k=" << k;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Exponents, ZipfPmf, ::testing::Values(1.5, 2.0, 2.5, 3.0, 3.5));
+
+TEST(ZipfSampler, TailExponentMatchesAlpha) {
+    // P(X >= i) ≈ i^{1-α}/( (α-1) ζ(α) ): check the ratio at two decades.
+    const double alpha = 2.5;
+    zipf_sampler z(alpha);
+    rng g = rng::seeded(0xbeef);
+    const int n = 1000000;
+    int ge10 = 0, ge100 = 0;
+    for (int i = 0; i < n; ++i) {
+        const std::uint64_t x = z(g);
+        ge10 += (x >= 10);
+        ge100 += (x >= 100);
+    }
+    const double ratio = static_cast<double>(ge10) / static_cast<double>(ge100);
+    // Exact ratio ζtail(10)/ζtail(100) ≈ 10^{α-1} = 31.6; allow sampling noise.
+    const double exact = zeta_tail(10, alpha) / zeta_tail(100, alpha);
+    EXPECT_NEAR(ratio / exact, 1.0, 0.15);
+}
+
+TEST(ZipfSampler, CappedNeverExceedsCap) {
+    zipf_sampler z(1.5);
+    rng g = rng::seeded(3);
+    for (int i = 0; i < 20000; ++i) ASSERT_LE(z.sample_capped(g, 50), 50u);
+}
+
+TEST(ZipfSampler, CapOneIsDegenerate) {
+    zipf_sampler z(2.5);
+    rng g = rng::seeded(4);
+    for (int i = 0; i < 100; ++i) ASSERT_EQ(z.sample_capped(g, 1), 1u);
+}
+
+TEST(ZipfSampler, CappedMatchesTableSampler) {
+    // The rejection-capped law must coincide with the exact truncated law.
+    const double alpha = 2.0;
+    const std::uint64_t cap = 20;
+    zipf_sampler rejection(alpha);
+    zipf_table_sampler table(alpha, cap);
+    rng g1 = rng::seeded(5), g2 = rng::seeded(6);
+    const int n = 300000;
+    std::vector<int> c1(cap + 1, 0), c2(cap + 1, 0);
+    for (int i = 0; i < n; ++i) {
+        ++c1[rejection.sample_capped(g1, cap)];
+        ++c2[table(g2)];
+    }
+    for (std::uint64_t k = 1; k <= cap; ++k) {
+        const double p1 = static_cast<double>(c1[k]) / n;
+        const double p2 = static_cast<double>(c2[k]) / n;
+        const double sigma = std::sqrt(table.pmf(k) / n);
+        EXPECT_NEAR(p1, p2, 6.0 * sigma + 1e-4) << "k=" << k;
+    }
+}
+
+TEST(ZipfTableSampler, PmfSumsToOne) {
+    zipf_table_sampler t(2.5, 100);
+    double sum = 0.0;
+    for (std::uint64_t k = 1; k <= 100; ++k) sum += t.pmf(k);
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(ZipfTableSampler, PmfZeroOutsideSupport) {
+    zipf_table_sampler t(2.5, 10);
+    EXPECT_DOUBLE_EQ(t.pmf(0), 0.0);
+    EXPECT_DOUBLE_EQ(t.pmf(11), 0.0);
+}
+
+TEST(ZipfTableSampler, RejectsBadArguments) {
+    EXPECT_THROW(zipf_table_sampler(2.0, 0), std::invalid_argument);
+    EXPECT_THROW(zipf_table_sampler(0.0, 10), std::invalid_argument);
+}
+
+TEST(ZipfSampler, MeanMatchesZetaRatio) {
+    // E[X] = ζ(α-1)/ζ(α) for α > 2.
+    const double alpha = 3.5;
+    zipf_sampler z(alpha);
+    rng g = rng::seeded(7);
+    const int n = 500000;
+    double sum = 0.0;
+    for (int i = 0; i < n; ++i) sum += static_cast<double>(z(g));
+    const double expected = riemann_zeta(alpha - 1.0) / riemann_zeta(alpha);
+    EXPECT_NEAR(sum / n, expected, 0.02);
+}
+
+}  // namespace
+}  // namespace levy

@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "src/sim/experiment.h"
+
+namespace levy::sim {
+namespace {
+
+std::vector<char*> argv_of(std::vector<std::string>& args) {
+    std::vector<char*> argv;
+    argv.push_back(nullptr);  // program name slot
+    static std::string prog = "test";
+    argv[0] = prog.data();
+    for (auto& a : args) argv.push_back(a.data());
+    return argv;
+}
+
+TEST(RunOptions, DefaultsWhenNoArgs) {
+    std::vector<std::string> args;
+    auto argv = argv_of(args);
+    const auto opts = parse_run_options(static_cast<int>(argv.size()), argv.data());
+    EXPECT_EQ(opts.trials, 0u);
+    EXPECT_DOUBLE_EQ(opts.scale, 1.0);
+    EXPECT_EQ(opts.threads, 0u);
+    EXPECT_EQ(opts.seed, kDefaultSeed);
+    EXPECT_TRUE(opts.csv_path.empty());
+}
+
+TEST(RunOptions, ParsesAllFlags) {
+    std::vector<std::string> args = {"--trials=500", "--scale=2.5", "--threads=3",
+                                     "--seed=777", "--csv=/tmp/out.csv"};
+    auto argv = argv_of(args);
+    const auto opts = parse_run_options(static_cast<int>(argv.size()), argv.data());
+    EXPECT_EQ(opts.trials, 500u);
+    EXPECT_DOUBLE_EQ(opts.scale, 2.5);
+    EXPECT_EQ(opts.threads, 3u);
+    EXPECT_EQ(opts.seed, 777u);
+    EXPECT_EQ(opts.csv_path, "/tmp/out.csv");
+}
+
+TEST(RunOptions, RejectsUnknownFlag) {
+    std::vector<std::string> args = {"--bogus=1"};
+    auto argv = argv_of(args);
+    EXPECT_THROW(parse_run_options(static_cast<int>(argv.size()), argv.data()),
+                 std::invalid_argument);
+}
+
+TEST(RunOptions, RejectsMalformedNumbers) {
+    std::vector<std::string> args = {"--trials=abc"};
+    auto argv = argv_of(args);
+    EXPECT_THROW(parse_run_options(static_cast<int>(argv.size()), argv.data()),
+                 std::invalid_argument);
+}
+
+TEST(RunOptions, RejectsNonPositiveScale) {
+    std::vector<std::string> args = {"--scale=0"};
+    auto argv = argv_of(args);
+    EXPECT_THROW(parse_run_options(static_cast<int>(argv.size()), argv.data()),
+                 std::invalid_argument);
+}
+
+TEST(RunOptions, HelpThrowsUsage) {
+    std::vector<std::string> args = {"--help"};
+    auto argv = argv_of(args);
+    EXPECT_THROW(parse_run_options(static_cast<int>(argv.size()), argv.data()),
+                 std::invalid_argument);
+}
+
+TEST(RunOptions, McUsesDefaultTrialsUnlessOverridden) {
+    run_options opts;
+    EXPECT_EQ(opts.mc(1234).trials, 1234u);
+    opts.trials = 99;
+    EXPECT_EQ(opts.mc(1234).trials, 99u);
+}
+
+TEST(RunOptions, McSaltChangesSeed) {
+    run_options opts;
+    EXPECT_NE(opts.mc(10, 1).seed, opts.mc(10, 2).seed);
+    EXPECT_EQ(opts.mc(10, 0).seed, opts.seed);
+}
+
+TEST(CsvWriter, InactiveByDefault) {
+    csv_writer w;
+    EXPECT_FALSE(w.active());
+    w.row({"never", "written"});  // must not crash
+}
+
+TEST(CsvWriter, WritesQuotedCells) {
+    const std::string path = "/tmp/levy_csv_test.csv";
+    {
+        csv_writer w(path);
+        EXPECT_TRUE(w.active());
+        w.header({"a", "b"});
+        w.row({"1", "with,comma"});
+        w.row({"quote\"inside", "plain"});
+    }
+    std::ifstream in(path);
+    std::stringstream ss;
+    ss << in.rdbuf();
+    EXPECT_EQ(ss.str(), "a,b\n1,\"with,comma\"\n\"quote\"\"inside\",plain\n");
+    std::remove(path.c_str());
+}
+
+TEST(CsvWriter, ThrowsOnUnwritablePath) {
+    EXPECT_THROW(csv_writer("/nonexistent_dir_xyz/file.csv"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace levy::sim

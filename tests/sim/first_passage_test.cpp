@@ -1,0 +1,67 @@
+#include <gtest/gtest.h>
+
+#include "src/baselines/ballistic_walk.h"
+#include "src/baselines/simple_random_walk.h"
+#include "src/core/levy_walk.h"
+#include "src/sim/trajectory.h"
+
+namespace levy::sim {
+namespace {
+
+TEST(FirstPassage, ZeroRadiusIsImmediate) {
+    levy_walk w(2.5, rng::seeded(1));
+    const auto r = first_passage_radius(w, 0, 100);
+    EXPECT_TRUE(r.reached);
+    EXPECT_EQ(r.time, 0u);
+    EXPECT_EQ(w.steps(), 0u);
+}
+
+TEST(FirstPassage, WalkNeedsAtLeastRadiusSteps) {
+    // A walk moves one unit per step: reaching radius r needs >= r steps.
+    for (std::uint64_t seed = 0; seed < 20; ++seed) {
+        levy_walk w(1.8, rng::seeded(seed));
+        const auto r = first_passage_radius(w, 25, 100000);
+        ASSERT_TRUE(r.reached);
+        EXPECT_GE(r.time, 25u);
+        EXPECT_GE(l1_norm(w.position()), 25);
+    }
+}
+
+TEST(FirstPassage, BallisticReachesExactlyAtRadius) {
+    baselines::ballistic_walk w(rng::seeded(3));
+    const auto r = first_passage_radius(w, 1000, 10000);
+    ASSERT_TRUE(r.reached);
+    EXPECT_EQ(r.time, 1000u);  // every step makes L1 progress
+}
+
+TEST(FirstPassage, BudgetExhaustionReported) {
+    baselines::simple_random_walk w(rng::seeded(4));
+    const auto r = first_passage_radius(w, 1000000, 50);
+    EXPECT_FALSE(r.reached);
+    EXPECT_EQ(r.time, 50u);
+}
+
+TEST(FirstPassage, MeasuredFromStartNotOrigin) {
+    levy_walk w(2.0, rng::seeded(5), {500, 500});
+    const auto r = first_passage_radius(w, 10, 100000);
+    ASSERT_TRUE(r.reached);
+    EXPECT_GE(l1_distance(w.position(), {500, 500}), 10);
+}
+
+TEST(FirstPassage, SuperdiffusiveEscapesFasterThanDiffusive) {
+    // Median escape time from radius 64: α = 2.1 ≪ α = 4 (the t_i vs λ_i
+    // machinery of Lemma 3.11 in miniature).
+    const std::int64_t radius = 64;
+    std::uint64_t super_total = 0, diff_total = 0;
+    const int trials = 60;
+    for (int i = 0; i < trials; ++i) {
+        levy_walk ws(2.1, rng::seeded(100 + static_cast<std::uint64_t>(i)));
+        levy_walk wd(4.0, rng::seeded(200 + static_cast<std::uint64_t>(i)));
+        super_total += first_passage_radius(ws, radius, 1000000).time;
+        diff_total += first_passage_radius(wd, radius, 1000000).time;
+    }
+    EXPECT_LT(super_total, diff_total / 2);
+}
+
+}  // namespace
+}  // namespace levy::sim

@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <vector>
+
+#include "src/sim/monte_carlo.h"
+
+namespace levy::sim {
+namespace {
+
+TEST(ParallelFor, CoversEveryIndexOnce) {
+    const std::size_t n = 1000;
+    std::vector<std::atomic<int>> counts(n);
+    parallel_for(n, 4, [&](std::size_t i) { counts[i].fetch_add(1); });
+    for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(counts[i].load(), 1) << i;
+}
+
+TEST(ParallelFor, ZeroItemsIsNoop) {
+    bool called = false;
+    parallel_for(0, 4, [&](std::size_t) { called = true; });
+    EXPECT_FALSE(called);
+}
+
+TEST(ParallelFor, SingleThreadFallback) {
+    std::vector<int> order;
+    parallel_for(5, 1, [&](std::size_t i) { order.push_back(static_cast<int>(i)); });
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ResolveThreads, ZeroMeansHardware) {
+    EXPECT_GE(resolve_threads(0), 1u);
+    EXPECT_EQ(resolve_threads(7), 7u);
+}
+
+TEST(MonteCarlo, ResultsIndependentOfThreadCount) {
+    // The core reproducibility guarantee: same seed → same per-trial values,
+    // regardless of parallel schedule.
+    mc_options opts1{.trials = 64, .threads = 1, .seed = 99};
+    mc_options opts8{.trials = 64, .threads = 8, .seed = 99};
+    const auto f = [](std::size_t, rng& g) { return g(); };
+    EXPECT_EQ(monte_carlo_collect(opts1, f), monte_carlo_collect(opts8, f));
+}
+
+TEST(MonteCarlo, TrialsGetIndependentStreams) {
+    mc_options opts{.trials = 32, .threads = 2, .seed = 7};
+    const auto values = monte_carlo_collect(opts, [](std::size_t, rng& g) { return g(); });
+    const std::set<std::uint64_t> distinct(values.begin(), values.end());
+    EXPECT_EQ(distinct.size(), values.size());
+}
+
+TEST(MonteCarlo, SeedChangesResults) {
+    const auto f = [](std::size_t, rng& g) { return g(); };
+    mc_options a{.trials = 8, .threads = 1, .seed = 1};
+    mc_options b{.trials = 8, .threads = 1, .seed = 2};
+    EXPECT_NE(monte_carlo_collect(a, f), monte_carlo_collect(b, f));
+}
+
+TEST(MonteCarlo, TrialIndexIsPassedThrough) {
+    mc_options opts{.trials = 10, .threads = 3, .seed = 5};
+    const auto values =
+        monte_carlo_collect(opts, [](std::size_t i, rng&) { return i * 10; });
+    for (std::size_t i = 0; i < 10; ++i) EXPECT_EQ(values[i], i * 10);
+}
+
+TEST(EstimateProbability, RecoversBernoulliParameter) {
+    mc_options opts{.trials = 20000, .threads = 0, .seed = 42};
+    const auto p = estimate_probability(opts, [](std::size_t, rng& g) {
+        return g.bernoulli(0.37);
+    });
+    EXPECT_EQ(p.trials, 20000u);
+    EXPECT_GT(p.estimate(), 0.35);
+    EXPECT_LT(p.estimate(), 0.39);
+    EXPECT_LE(p.lo, 0.37);
+    EXPECT_GE(p.hi, 0.37);
+}
+
+TEST(EstimateProbability, DeterministicAcrossThreadCounts) {
+    const auto pred = [](std::size_t, rng& g) { return g.coin(); };
+    mc_options a{.trials = 500, .threads = 1, .seed = 3};
+    mc_options b{.trials = 500, .threads = 6, .seed = 3};
+    EXPECT_EQ(estimate_probability(a, pred).successes, estimate_probability(b, pred).successes);
+}
+
+}  // namespace
+}  // namespace levy::sim

@@ -1,0 +1,85 @@
+#include <gtest/gtest.h>
+
+#include "src/baselines/simple_random_walk.h"
+#include "src/core/levy_walk.h"
+#include "src/sim/trajectory.h"
+
+namespace levy::sim {
+namespace {
+
+TEST(Displacement, MaxDominatesFinal) {
+    levy_walk w(2.2, rng::seeded(1));
+    const auto d = run_displacement(w, 5000);
+    EXPECT_EQ(d.steps, 5000u);
+    EXPECT_GE(d.max_l1, d.final_l1);
+    EXPECT_GE(d.final_l1, 0);
+}
+
+TEST(Displacement, BoundedByStepCount) {
+    // A walk moves at most one unit per step.
+    levy_walk w(1.5, rng::seeded(2));
+    const auto d = run_displacement(w, 1234);
+    EXPECT_LE(d.max_l1, 1234);
+}
+
+TEST(Displacement, MeasuredFromProcessStartNode) {
+    levy_walk w(2.5, rng::seeded(3), {100, 100});
+    const auto d = run_displacement(w, 100);
+    EXPECT_LE(d.max_l1, 100);  // relative to (100,100), not the origin
+}
+
+TEST(CountVisits, AgreesWithCensus) {
+    levy_walk w1(2.3, rng::seeded(4));
+    levy_walk w2(2.3, rng::seeded(4));
+    const point probe{1, 0};
+    const std::uint64_t t = 20000;
+    const std::uint64_t direct = count_visits(w1, probe, t);
+    auto census = visit_census(w2, t);
+    EXPECT_EQ(direct, census[probe]);
+}
+
+TEST(CountVisits, CensusTotalsMatchSteps) {
+    levy_walk w(2.5, rng::seeded(5));
+    const std::uint64_t t = 5000;
+    const auto census = visit_census(w, t);
+    std::uint64_t total = 0;
+    for (const auto& [p, c] : census) total += c;
+    EXPECT_EQ(total, t);
+}
+
+TEST(RecordTrajectory, LengthAndContinuity) {
+    levy_walk w(2.0, rng::seeded(6));
+    const auto traj = record_trajectory(w, 300);
+    ASSERT_EQ(traj.size(), 301u);
+    EXPECT_EQ(traj.front(), origin);
+    for (std::size_t i = 0; i + 1 < traj.size(); ++i) {
+        ASSERT_LE(l1_distance(traj[i], traj[i + 1]), 1);
+    }
+}
+
+TEST(RecordTrajectory, WorksForBaselines) {
+    baselines::simple_random_walk srw(rng::seeded(7));
+    const auto traj = record_trajectory(srw, 50);
+    ASSERT_EQ(traj.size(), 51u);
+    for (std::size_t i = 0; i + 1 < traj.size(); ++i) {
+        ASSERT_EQ(l1_distance(traj[i], traj[i + 1]), 1);  // SRW never stays put
+    }
+}
+
+TEST(Displacement, SuperdiffusiveSpreadsFasterThanDiffusive) {
+    // Shape check at matched budgets: α = 2.1 walks reach much farther than
+    // α = 5 walks. Averaged over trials to damp variance.
+    const std::uint64_t t = 3000;
+    const int trials = 100;
+    double super = 0.0, diff = 0.0;
+    for (int i = 0; i < trials; ++i) {
+        levy_walk ws(2.1, rng::seeded(1000 + static_cast<std::uint64_t>(i)));
+        levy_walk wd(5.0, rng::seeded(2000 + static_cast<std::uint64_t>(i)));
+        super += static_cast<double>(run_displacement(ws, t).max_l1);
+        diff += static_cast<double>(run_displacement(wd, t).max_l1);
+    }
+    EXPECT_GT(super / trials, 2.0 * diff / trials);
+}
+
+}  // namespace
+}  // namespace levy::sim

@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "src/smallworld/kleinberg_grid.h"
+
+namespace levy::smallworld {
+namespace {
+
+TEST(KleinbergGrid, WrapCanonicalizes) {
+    const kleinberg_grid g(10, 2.0, 1);
+    EXPECT_EQ(g.wrap({10, 10}), origin);
+    EXPECT_EQ(g.wrap({-1, -1}), (point{9, 9}));
+    EXPECT_EQ(g.wrap({23, -13}), (point{3, 7}));
+}
+
+TEST(KleinbergGrid, TorusDistance) {
+    const kleinberg_grid g(10, 2.0, 1);
+    EXPECT_EQ(g.distance({0, 0}, {9, 0}), 1);   // wraps
+    EXPECT_EQ(g.distance({0, 0}, {5, 5}), 10);  // antipodal
+    EXPECT_EQ(g.distance({2, 3}, {2, 3}), 0);
+    EXPECT_EQ(g.distance({0, 0}, {3, 8}), 3 + 2);
+}
+
+TEST(KleinbergGrid, GridNeighborsAreAtDistanceOne) {
+    const kleinberg_grid g(8, 2.0, 2);
+    for (const point u : {point{0, 0}, point{7, 7}, point{3, 0}}) {
+        for (const point v : g.grid_neighbors(u)) {
+            EXPECT_EQ(g.distance(u, v), 1);
+        }
+    }
+}
+
+TEST(KleinbergGrid, ContactIsDeterministicPerNode) {
+    const kleinberg_grid g(32, 2.0, 3);
+    const point u{5, 11};
+    EXPECT_EQ(g.contact(u), g.contact(u));
+    // And invariant under coordinate wrapping of the query.
+    EXPECT_EQ(g.contact(u), g.contact(u + point{32, -32}));
+}
+
+TEST(KleinbergGrid, ContactNeverSelf) {
+    const kleinberg_grid g(16, 1.5, 4);
+    for (std::int64_t x = 0; x < 16; ++x) {
+        for (std::int64_t y = 0; y < 16; ++y) {
+            EXPECT_NE(g.contact({x, y}), (point{x, y}));
+        }
+    }
+}
+
+TEST(KleinbergGrid, ContactsDifferAcrossSeeds) {
+    const kleinberg_grid a(32, 2.0, 5), b(32, 2.0, 6);
+    int same = 0, total = 0;
+    for (std::int64_t x = 0; x < 32; x += 3) {
+        for (std::int64_t y = 0; y < 32; y += 3) {
+            same += (a.contact({x, y}) == b.contact({x, y}));
+            ++total;
+        }
+    }
+    EXPECT_LT(same, total / 4);
+}
+
+TEST(KleinbergGrid, SmallBetaFavorsLongContacts) {
+    // β = 0.5 is tilted toward long range; β = 3.5 toward short.
+    const std::int64_t n = 64;
+    const kleinberg_grid near(n, 3.5, 7), far(n, 0.5, 7);
+    double near_sum = 0.0, far_sum = 0.0;
+    int count = 0;
+    for (std::int64_t x = 0; x < n; x += 2) {
+        for (std::int64_t y = 0; y < n; y += 2) {
+            const point u{x, y};
+            near_sum += static_cast<double>(near.distance(u, near.contact(u)));
+            far_sum += static_cast<double>(far.distance(u, far.contact(u)));
+            ++count;
+        }
+    }
+    EXPECT_LT(near_sum / count, far_sum / count / 2.0);
+}
+
+TEST(KleinbergGrid, RandomNodeInRange) {
+    const kleinberg_grid g(12, 2.0, 8);
+    rng r = rng::seeded(9);
+    for (int i = 0; i < 1000; ++i) {
+        const point u = g.random_node(r);
+        EXPECT_GE(u.x, 0);
+        EXPECT_LT(u.x, 12);
+        EXPECT_GE(u.y, 0);
+        EXPECT_LT(u.y, 12);
+    }
+}
+
+TEST(KleinbergGrid, RejectsBadArguments) {
+    EXPECT_THROW(kleinberg_grid(3, 2.0, 1), std::invalid_argument);
+    EXPECT_THROW(kleinberg_grid(10, 0.0, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace levy::smallworld

@@ -1,0 +1,64 @@
+#include <gtest/gtest.h>
+
+#include "src/smallworld/greedy_routing.h"
+
+namespace levy::smallworld {
+namespace {
+
+TEST(GreedyRouting, TrivialRouteIsZeroHops) {
+    const kleinberg_grid g(16, 2.0, 1);
+    const auto r = greedy_route(g, {3, 3}, {3, 3}, 100);
+    EXPECT_TRUE(r.delivered);
+    EXPECT_EQ(r.hops, 0u);
+}
+
+TEST(GreedyRouting, AlwaysDeliversWithGenerousBudget) {
+    // Grid moves alone guarantee progress, so 2n hops always suffice.
+    const std::int64_t n = 32;
+    const kleinberg_grid g(n, 2.0, 2);
+    rng r = rng::seeded(3);
+    for (int i = 0; i < 100; ++i) {
+        const point s = g.random_node(r), t = g.random_node(r);
+        const auto route = greedy_route(g, s, t, static_cast<std::uint64_t>(2 * n));
+        ASSERT_TRUE(route.delivered);
+        ASSERT_GE(route.hops, static_cast<std::uint64_t>(g.distance(s, t)) > 0 ? 1u : 0u);
+    }
+}
+
+TEST(GreedyRouting, HopsNeverExceedTorusDistanceWithoutShortcutsHelp) {
+    // Greedy progress ≥ 1 per hop: hops ≤ initial distance.
+    const kleinberg_grid g(24, 2.0, 4);
+    rng r = rng::seeded(5);
+    for (int i = 0; i < 200; ++i) {
+        const point s = g.random_node(r), t = g.random_node(r);
+        const auto route = greedy_route(g, s, t, 1000);
+        ASSERT_TRUE(route.delivered);
+        ASSERT_LE(route.hops, static_cast<std::uint64_t>(g.distance(s, t)));
+    }
+}
+
+TEST(GreedyRouting, BudgetExhaustionReportsFailure) {
+    const kleinberg_grid g(32, 2.0, 6);
+    const auto route = greedy_route(g, {0, 0}, {16, 16}, 2);
+    EXPECT_FALSE(route.delivered);
+    EXPECT_EQ(route.hops, 2u);
+}
+
+TEST(GreedyRouting, ShortcutsBeatPlainGridOnAverage) {
+    // With β = 2 the average greedy route across a 64-torus is much shorter
+    // than the ~n/2 grid-only distance.
+    const std::int64_t n = 64;
+    const kleinberg_grid g(n, 2.0, 7);
+    rng r = rng::seeded(8);
+    double hops = 0.0, dist = 0.0;
+    const int routes = 300;
+    for (int i = 0; i < routes; ++i) {
+        const point s = g.random_node(r), t = g.random_node(r);
+        dist += static_cast<double>(g.distance(s, t));
+        hops += static_cast<double>(greedy_route(g, s, t, 10000).hops);
+    }
+    EXPECT_LT(hops, 0.7 * dist);
+}
+
+}  // namespace
+}  // namespace levy::smallworld

@@ -1,0 +1,73 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/stats/bootstrap.h"
+#include "src/stats/summary.h"
+
+namespace levy::stats {
+namespace {
+
+double sample_mean(std::span<const double> xs) {
+    double s = 0.0;
+    for (double x : xs) s += x;
+    return s / static_cast<double>(xs.size());
+}
+
+TEST(Bootstrap, PointEstimateIsStatisticOnOriginal) {
+    const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+    rng g = rng::seeded(1);
+    const auto ci = bootstrap_ci(xs, sample_mean, g, 200);
+    EXPECT_DOUBLE_EQ(ci.point, 2.5);
+}
+
+TEST(Bootstrap, IntervalBracketsPointForWellBehavedData) {
+    std::vector<double> xs;
+    rng data = rng::seeded(7);
+    for (int i = 0; i < 200; ++i) xs.push_back(data.uniform(0.0, 1.0));
+    rng g = rng::seeded(2);
+    const auto ci = bootstrap_ci(xs, sample_mean, g, 500);
+    EXPECT_LE(ci.lo, ci.point);
+    EXPECT_GE(ci.hi, ci.point);
+    // ±4/√n-ish width for U(0,1).
+    EXPECT_LT(ci.hi - ci.lo, 0.2);
+}
+
+TEST(Bootstrap, DeterministicGivenSeed) {
+    const std::vector<double> xs = {5.0, 1.0, 8.0, 2.0, 9.0};
+    rng g1 = rng::seeded(3), g2 = rng::seeded(3);
+    const auto a = bootstrap_ci(xs, sample_mean, g1, 300);
+    const auto b = bootstrap_ci(xs, sample_mean, g2, 300);
+    EXPECT_DOUBLE_EQ(a.lo, b.lo);
+    EXPECT_DOUBLE_EQ(a.hi, b.hi);
+}
+
+TEST(Bootstrap, DegenerateSampleGivesZeroWidth) {
+    const std::vector<double> xs = {4.0, 4.0, 4.0};
+    rng g = rng::seeded(4);
+    const auto ci = bootstrap_ci(xs, sample_mean, g, 100);
+    EXPECT_DOUBLE_EQ(ci.lo, 4.0);
+    EXPECT_DOUBLE_EQ(ci.hi, 4.0);
+}
+
+TEST(Bootstrap, WiderLevelWidensInterval) {
+    std::vector<double> xs;
+    rng data = rng::seeded(8);
+    for (int i = 0; i < 100; ++i) xs.push_back(data.uniform(0.0, 10.0));
+    rng g1 = rng::seeded(5), g2 = rng::seeded(5);
+    const auto narrow = bootstrap_ci(xs, sample_mean, g1, 800, 0.5);
+    const auto wide = bootstrap_ci(xs, sample_mean, g2, 800, 0.99);
+    EXPECT_LT(narrow.hi - narrow.lo, wide.hi - wide.lo);
+}
+
+TEST(Bootstrap, Errors) {
+    const std::vector<double> empty;
+    rng g = rng::seeded(6);
+    EXPECT_THROW((void)bootstrap_ci(empty, sample_mean, g), std::invalid_argument);
+    const std::vector<double> xs = {1.0};
+    EXPECT_THROW((void)bootstrap_ci(xs, sample_mean, g, 10, 0.0), std::invalid_argument);
+    EXPECT_THROW((void)bootstrap_ci(xs, sample_mean, g, 10, 1.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace levy::stats

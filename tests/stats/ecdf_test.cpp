@@ -1,0 +1,55 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/stats/ecdf.h"
+
+namespace levy::stats {
+namespace {
+
+TEST(Ecdf, StepFunctionValues) {
+    const std::vector<double> xs = {3.0, 1.0, 2.0};
+    const ecdf f(xs);
+    EXPECT_DOUBLE_EQ(f(0.5), 0.0);
+    EXPECT_DOUBLE_EQ(f(1.0), 1.0 / 3.0);
+    EXPECT_DOUBLE_EQ(f(1.5), 1.0 / 3.0);
+    EXPECT_DOUBLE_EQ(f(2.0), 2.0 / 3.0);
+    EXPECT_DOUBLE_EQ(f(3.0), 1.0);
+    EXPECT_DOUBLE_EQ(f(100.0), 1.0);
+}
+
+TEST(Ecdf, HandlesDuplicates) {
+    const std::vector<double> xs = {2.0, 2.0, 2.0, 5.0};
+    const ecdf f(xs);
+    EXPECT_DOUBLE_EQ(f(2.0), 0.75);
+    EXPECT_DOUBLE_EQ(f(1.9), 0.0);
+}
+
+TEST(Ecdf, QuantileInverse) {
+    const std::vector<double> xs = {10.0, 20.0, 30.0, 40.0};
+    const ecdf f(xs);
+    EXPECT_DOUBLE_EQ(f.quantile(0.25), 10.0);
+    EXPECT_DOUBLE_EQ(f.quantile(0.5), 20.0);
+    EXPECT_DOUBLE_EQ(f.quantile(0.75), 30.0);
+    EXPECT_DOUBLE_EQ(f.quantile(1.0), 40.0);
+    EXPECT_DOUBLE_EQ(f.quantile(0.1), 10.0);
+}
+
+TEST(Ecdf, SortedSamplesExposed) {
+    const std::vector<double> xs = {3.0, 1.0, 2.0};
+    const ecdf f(xs);
+    EXPECT_EQ(f.sorted_samples(), (std::vector<double>{1.0, 2.0, 3.0}));
+    EXPECT_EQ(f.size(), 3u);
+}
+
+TEST(Ecdf, Errors) {
+    const std::vector<double> empty;
+    EXPECT_THROW(ecdf{empty}, std::invalid_argument);
+    const std::vector<double> xs = {1.0};
+    const ecdf f(xs);
+    EXPECT_THROW((void)f.quantile(0.0), std::invalid_argument);
+    EXPECT_THROW((void)f.quantile(1.5), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace levy::stats

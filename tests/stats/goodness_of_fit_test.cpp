@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "src/rng/rng_stream.h"
+#include "src/stats/goodness_of_fit.h"
+
+namespace levy::stats {
+namespace {
+
+TEST(KsStatistic, ZeroForIdenticalSamples) {
+    const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+    EXPECT_DOUBLE_EQ(ks_statistic(xs, xs), 0.0);
+}
+
+TEST(KsStatistic, OneForDisjointSupports) {
+    const std::vector<double> a = {1.0, 2.0, 3.0};
+    const std::vector<double> b = {10.0, 11.0};
+    EXPECT_DOUBLE_EQ(ks_statistic(a, b), 1.0);
+}
+
+TEST(KsStatistic, KnownSmallCase) {
+    const std::vector<double> a = {1.0, 3.0};
+    const std::vector<double> b = {2.0, 4.0};
+    // F_a jumps to 0.5 at 1, 1.0 at 3; F_b to 0.5 at 2, 1.0 at 4.
+    // Max gap: at x in [1,2): |0.5 - 0| = 0.5.
+    EXPECT_DOUBLE_EQ(ks_statistic(a, b), 0.5);
+}
+
+TEST(KsPValue, HighForSameDistribution) {
+    rng g = rng::seeded(1);
+    std::vector<double> a, b;
+    for (int i = 0; i < 2000; ++i) {
+        a.push_back(g.uniform());
+        b.push_back(g.uniform());
+    }
+    EXPECT_GT(ks_p_value(a, b), 0.01);
+}
+
+TEST(KsPValue, LowForShiftedDistribution) {
+    rng g = rng::seeded(2);
+    std::vector<double> a, b;
+    for (int i = 0; i < 2000; ++i) {
+        a.push_back(g.uniform());
+        b.push_back(g.uniform() + 0.2);
+    }
+    EXPECT_LT(ks_p_value(a, b), 1e-6);
+}
+
+TEST(KsStatistic, Errors) {
+    const std::vector<double> empty, one = {1.0};
+    EXPECT_THROW((void)ks_statistic(empty, one), std::invalid_argument);
+}
+
+TEST(ChiSquareUpperTail, KnownQuantiles) {
+    // Chi-square with 1 df: P(X > 3.841) ≈ 0.05; 2 df: P(X > 5.991) ≈ 0.05.
+    EXPECT_NEAR(chi_square_upper_tail(3.841, 1), 0.05, 0.001);
+    EXPECT_NEAR(chi_square_upper_tail(5.991, 2), 0.05, 0.001);
+    EXPECT_NEAR(chi_square_upper_tail(0.0, 3), 1.0, 1e-12);
+}
+
+TEST(ChiSquareTest, FairDieLooksFair) {
+    rng g = rng::seeded(3);
+    std::vector<std::uint64_t> counts(6, 0);
+    const std::uint64_t n = 60000;
+    for (std::uint64_t i = 0; i < n; ++i) ++counts[g.below(6)];
+    const std::vector<double> probs(6, 1.0 / 6.0);
+    const auto result = chi_square_test(counts, probs, n);
+    EXPECT_EQ(result.degrees_of_freedom, 5u);
+    EXPECT_GT(result.p_value, 0.001);
+}
+
+TEST(ChiSquareTest, LoadedDieIsDetected) {
+    // Simulate a die that favors face 0 by 10%.
+    rng g = rng::seeded(4);
+    std::vector<std::uint64_t> counts(6, 0);
+    const std::uint64_t n = 60000;
+    for (std::uint64_t i = 0; i < n; ++i) {
+        ++counts[g.bernoulli(0.25) ? 0 : g.below(6)];
+    }
+    const std::vector<double> probs(6, 1.0 / 6.0);
+    const auto result = chi_square_test(counts, probs, n);
+    EXPECT_LT(result.p_value, 1e-10);
+}
+
+TEST(ChiSquareTest, PoolsOverflowCell) {
+    // Listed cells cover only part of the distribution; the remainder is
+    // pooled. Counts: 50 in cell A, 50 elsewhere; expected 0.5/0.5.
+    const std::vector<std::uint64_t> observed = {50};
+    const std::vector<double> probs = {0.5};
+    const auto result = chi_square_test(observed, probs, 100);
+    EXPECT_EQ(result.degrees_of_freedom, 1u);
+    EXPECT_NEAR(result.statistic, 0.0, 1e-12);
+    EXPECT_NEAR(result.p_value, 1.0, 1e-9);
+}
+
+TEST(ChiSquareTest, Errors) {
+    const std::vector<std::uint64_t> obs = {1, 2};
+    const std::vector<double> probs = {0.5};
+    EXPECT_THROW((void)chi_square_test(obs, probs, 3), std::invalid_argument);
+    const std::vector<double> zero = {0.0, 1.0};
+    EXPECT_THROW((void)chi_square_test(obs, zero, 3), std::invalid_argument);
+    EXPECT_THROW((void)chi_square_upper_tail(1.0, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace levy::stats

@@ -1,0 +1,81 @@
+#include <gtest/gtest.h>
+
+#include "src/stats/histogram.h"
+
+namespace levy::stats {
+namespace {
+
+TEST(Histogram, BinAssignment) {
+    histogram h(0.0, 10.0, 5);  // bins [0,2) [2,4) [4,6) [6,8) [8,10)
+    h.add(0.0);
+    h.add(1.99);
+    h.add(2.0);
+    h.add(9.99);
+    EXPECT_EQ(h.count(0), 2u);
+    EXPECT_EQ(h.count(1), 1u);
+    EXPECT_EQ(h.count(4), 1u);
+    EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(Histogram, UnderOverflowTracked) {
+    histogram h(0.0, 1.0, 2);
+    h.add(-0.5);
+    h.add(1.0);  // right edge is exclusive → overflow
+    h.add(2.0);
+    EXPECT_EQ(h.underflow(), 1u);
+    EXPECT_EQ(h.overflow(), 2u);
+    EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(Histogram, EdgesAndDensity) {
+    histogram h(1.0, 3.0, 4);
+    EXPECT_DOUBLE_EQ(h.edge(0), 1.0);
+    EXPECT_DOUBLE_EQ(h.edge(2), 2.0);
+    EXPECT_DOUBLE_EQ(h.edge(4), 3.0);
+    h.add(1.1);
+    h.add(1.2);
+    h.add(2.9);
+    h.add(-5.0);  // excluded from density normalization
+    EXPECT_DOUBLE_EQ(h.density(0), 2.0 / 3.0);
+    EXPECT_DOUBLE_EQ(h.density(3), 1.0 / 3.0);
+}
+
+TEST(Histogram, Errors) {
+    EXPECT_THROW(histogram(1.0, 1.0, 3), std::invalid_argument);
+    EXPECT_THROW(histogram(0.0, 1.0, 0), std::invalid_argument);
+    histogram h(0.0, 1.0, 2);
+    EXPECT_THROW((void)h.edge(5), std::out_of_range);
+}
+
+TEST(Log2Histogram, BucketBoundaries) {
+    log2_histogram h;
+    h.add(1);   // bucket 0: [1,2)
+    h.add(2);   // bucket 1: [2,4)
+    h.add(3);   // bucket 1
+    h.add(4);   // bucket 2: [4,8)
+    h.add(1024);  // bucket 10
+    EXPECT_EQ(h.count(0), 1u);
+    EXPECT_EQ(h.count(1), 2u);
+    EXPECT_EQ(h.count(2), 1u);
+    EXPECT_EQ(h.count(10), 1u);
+    EXPECT_EQ(h.buckets(), 11u);
+    EXPECT_EQ(h.total(), 5u);
+}
+
+TEST(Log2Histogram, ZerosCountedSeparately) {
+    log2_histogram h;
+    h.add(0);
+    h.add(0);
+    h.add(1);
+    EXPECT_EQ(h.zeros(), 2u);
+    EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(Log2Histogram, QueryBeyondBucketsIsZero) {
+    log2_histogram h;
+    h.add(1);
+    EXPECT_EQ(h.count(40), 0u);
+}
+
+}  // namespace
+}  // namespace levy::stats

@@ -1,0 +1,70 @@
+#include <gtest/gtest.h>
+
+#include "src/stats/proportion.h"
+
+namespace levy::stats {
+namespace {
+
+TEST(Wilson, PointEstimate) {
+    const auto p = wilson_interval(30, 100);
+    EXPECT_DOUBLE_EQ(p.estimate(), 0.3);
+    EXPECT_EQ(p.successes, 30u);
+    EXPECT_EQ(p.trials, 100u);
+}
+
+TEST(Wilson, IntervalContainsEstimate) {
+    const auto p = wilson_interval(30, 100);
+    EXPECT_LT(p.lo, p.estimate());
+    EXPECT_GT(p.hi, p.estimate());
+}
+
+TEST(Wilson, BoundsStayInUnitInterval) {
+    EXPECT_GE(wilson_interval(0, 10).lo, 0.0);
+    EXPECT_LE(wilson_interval(10, 10).hi, 1.0);
+}
+
+TEST(Wilson, ZeroSuccessesStillInformative) {
+    // Rule-of-three flavor: with 0/100, the upper bound is small but not 0.
+    const auto p = wilson_interval(0, 100);
+    EXPECT_DOUBLE_EQ(p.lo, 0.0);
+    EXPECT_GT(p.hi, 0.0);
+    EXPECT_LT(p.hi, 0.06);
+}
+
+TEST(Wilson, AllSuccessesMirrorsZero) {
+    const auto p = wilson_interval(100, 100);
+    EXPECT_DOUBLE_EQ(p.hi, 1.0);
+    EXPECT_GT(p.lo, 0.94);
+}
+
+TEST(Wilson, WidthShrinksWithSampleSize) {
+    const auto small = wilson_interval(30, 100);
+    const auto large = wilson_interval(3000, 10000);
+    EXPECT_LT(large.hi - large.lo, small.hi - small.lo);
+}
+
+TEST(Wilson, HigherZWidensInterval) {
+    const auto z95 = wilson_interval(30, 100, 1.96);
+    const auto z99 = wilson_interval(30, 100, 2.58);
+    EXPECT_LT(z95.hi - z95.lo, z99.hi - z99.lo);
+}
+
+TEST(Wilson, KnownValue) {
+    // Classical check: 50/100 at z=1.96 → approximately [0.404, 0.596].
+    const auto p = wilson_interval(50, 100);
+    EXPECT_NEAR(p.lo, 0.4038, 0.001);
+    EXPECT_NEAR(p.hi, 0.5962, 0.001);
+}
+
+TEST(Wilson, Errors) {
+    EXPECT_THROW((void)wilson_interval(1, 0), std::invalid_argument);
+    EXPECT_THROW((void)wilson_interval(11, 10), std::invalid_argument);
+}
+
+TEST(Proportion, DefaultIsEmpty) {
+    const proportion p{};
+    EXPECT_DOUBLE_EQ(p.estimate(), 0.0);
+}
+
+}  // namespace
+}  // namespace levy::stats

@@ -1,0 +1,76 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "src/stats/regression.h"
+
+namespace levy::stats {
+namespace {
+
+TEST(LinearFit, ExactLineRecovered) {
+    const std::vector<double> xs = {0.0, 1.0, 2.0, 3.0};
+    std::vector<double> ys;
+    for (double x : xs) ys.push_back(2.5 * x - 1.0);
+    const auto fit = linear_fit(xs, ys);
+    EXPECT_NEAR(fit.slope, 2.5, 1e-12);
+    EXPECT_NEAR(fit.intercept, -1.0, 1e-12);
+    EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+}
+
+TEST(LinearFit, NoisyLineApproximated) {
+    const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0, 5.0};
+    const std::vector<double> ys = {2.1, 3.9, 6.2, 7.8, 10.1};
+    const auto fit = linear_fit(xs, ys);
+    EXPECT_NEAR(fit.slope, 2.0, 0.1);
+    EXPECT_GT(fit.r_squared, 0.99);
+}
+
+TEST(LinearFit, FlatLine) {
+    const std::vector<double> xs = {1.0, 2.0, 3.0};
+    const std::vector<double> ys = {7.0, 7.0, 7.0};
+    const auto fit = linear_fit(xs, ys);
+    EXPECT_NEAR(fit.slope, 0.0, 1e-12);
+    EXPECT_NEAR(fit.intercept, 7.0, 1e-12);
+    EXPECT_DOUBLE_EQ(fit.r_squared, 1.0);  // convention: zero variance → perfect
+}
+
+TEST(LinearFit, Errors) {
+    const std::vector<double> one = {1.0};
+    EXPECT_THROW((void)linear_fit(one, one), std::invalid_argument);
+    const std::vector<double> xs = {2.0, 2.0};
+    const std::vector<double> ys = {1.0, 3.0};
+    EXPECT_THROW((void)linear_fit(xs, ys), std::invalid_argument);
+    const std::vector<double> mismatched = {1.0, 2.0, 3.0};
+    const std::vector<double> two = {1.0, 2.0};
+    EXPECT_THROW((void)linear_fit(mismatched, two), std::invalid_argument);
+}
+
+TEST(LogLogFit, RecoversPowerLawExponent) {
+    // y = 3 x^{-1.7}: the regression slope is the scaling exponent — the
+    // exact pattern the benches use to validate Θ(ℓ^c) claims.
+    std::vector<double> xs, ys;
+    for (double x : {8.0, 16.0, 32.0, 64.0, 128.0}) {
+        xs.push_back(x);
+        ys.push_back(3.0 * std::pow(x, -1.7));
+    }
+    const auto fit = loglog_fit(xs, ys);
+    EXPECT_NEAR(fit.slope, -1.7, 1e-10);
+    EXPECT_NEAR(std::exp(fit.intercept), 3.0, 1e-9);
+}
+
+TEST(LogLogFit, SkipsNonPositivePoints) {
+    const std::vector<double> xs = {1.0, 2.0, 0.0, 4.0, 8.0};
+    const std::vector<double> ys = {1.0, 2.0, 5.0, 4.0, 8.0};  // y = x where valid
+    const auto fit = loglog_fit(xs, ys);
+    EXPECT_NEAR(fit.slope, 1.0, 1e-12);
+}
+
+TEST(LogLogFit, ThrowsWhenTooFewUsablePoints) {
+    const std::vector<double> xs = {0.0, -1.0, 3.0};
+    const std::vector<double> ys = {1.0, 1.0, 1.0};
+    EXPECT_THROW((void)loglog_fit(xs, ys), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace levy::stats

@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/stats/summary.h"
+
+namespace levy::stats {
+namespace {
+
+TEST(RunningSummary, EmptyIsZeroed) {
+    running_summary s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(s.std_error(), 0.0);
+}
+
+TEST(RunningSummary, SingleValue) {
+    running_summary s;
+    s.add(4.0);
+    EXPECT_EQ(s.count(), 1u);
+    EXPECT_DOUBLE_EQ(s.mean(), 4.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(s.min(), 4.0);
+    EXPECT_DOUBLE_EQ(s.max(), 4.0);
+}
+
+TEST(RunningSummary, KnownMoments) {
+    running_summary s;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+    EXPECT_EQ(s.count(), 8u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // unbiased
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+    EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningSummary, MergeEqualsConcatenation) {
+    running_summary all, left, right;
+    const std::vector<double> xs = {1.5, -2.0, 3.25, 0.0, 10.0, -7.5, 2.0};
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        all.add(xs[i]);
+        (i < 3 ? left : right).add(xs[i]);
+    }
+    left.merge(right);
+    EXPECT_EQ(left.count(), all.count());
+    EXPECT_NEAR(left.mean(), all.mean(), 1e-12);
+    EXPECT_NEAR(left.variance(), all.variance(), 1e-12);
+    EXPECT_DOUBLE_EQ(left.min(), all.min());
+    EXPECT_DOUBLE_EQ(left.max(), all.max());
+}
+
+TEST(RunningSummary, MergeWithEmptyIsIdentity) {
+    running_summary a, empty;
+    a.add(1.0);
+    a.add(2.0);
+    const double mean = a.mean();
+    a.merge(empty);
+    EXPECT_DOUBLE_EQ(a.mean(), mean);
+    EXPECT_EQ(a.count(), 2u);
+
+    running_summary b;
+    b.merge(a);
+    EXPECT_DOUBLE_EQ(b.mean(), mean);
+}
+
+TEST(RunningSummary, StdErrorShrinksWithN) {
+    running_summary s;
+    for (int i = 0; i < 100; ++i) s.add(i % 2 == 0 ? 1.0 : -1.0);
+    EXPECT_NEAR(s.std_error(), s.stddev() / 10.0, 1e-12);
+}
+
+TEST(Summarize, MatchesIncremental) {
+    const std::vector<double> xs = {3.0, 1.0, 4.0, 1.0, 5.0};
+    const auto s = summarize(xs);
+    EXPECT_EQ(s.count(), 5u);
+    EXPECT_DOUBLE_EQ(s.mean(), 2.8);
+}
+
+TEST(Quantile, EdgeAndMidpoints) {
+    const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+    EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 4.0);
+    EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 2.5);  // interpolated
+    EXPECT_DOUBLE_EQ(median(xs), 2.5);
+}
+
+TEST(Quantile, UnsortedInputHandled) {
+    const std::vector<double> xs = {9.0, 1.0, 5.0};
+    EXPECT_DOUBLE_EQ(median(xs), 5.0);
+}
+
+TEST(Quantile, Errors) {
+    const std::vector<double> empty;
+    EXPECT_THROW((void)quantile(empty, 0.5), std::invalid_argument);
+    const std::vector<double> xs = {1.0};
+    EXPECT_THROW((void)quantile(xs, -0.1), std::invalid_argument);
+    EXPECT_THROW((void)quantile(xs, 1.1), std::invalid_argument);
+}
+
+TEST(Quantiles, BatchMatchesSingles) {
+    const std::vector<double> xs = {2.0, 8.0, 6.0, 4.0, 0.0};
+    const std::vector<double> qs = {0.25, 0.5, 0.75};
+    const auto batch = quantiles(xs, qs);
+    ASSERT_EQ(batch.size(), 3u);
+    for (std::size_t i = 0; i < qs.size(); ++i) {
+        EXPECT_DOUBLE_EQ(batch[i], quantile(xs, qs[i]));
+    }
+}
+
+}  // namespace
+}  // namespace levy::stats

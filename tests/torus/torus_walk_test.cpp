@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include "src/core/intermittent.h"
+#include "src/torus/torus_walk.h"
+
+namespace levy::torus {
+namespace {
+
+TEST(TorusGeometry, WrapAndDistance) {
+    const torus_geometry g(10);
+    EXPECT_EQ(g.wrap({10, -1}), (point{0, 9}));
+    EXPECT_EQ(g.distance({0, 0}, {9, 9}), 2);   // wraps both axes
+    EXPECT_EQ(g.distance({0, 0}, {5, 5}), 10);  // antipodal
+    EXPECT_EQ(g.area(), 100u);
+}
+
+TEST(TorusGeometry, RejectsTinyTorus) {
+    EXPECT_THROW(torus_geometry(3), std::invalid_argument);
+}
+
+TEST(TorusGeometry, RandomNodeInRange) {
+    const torus_geometry g(16);
+    rng r = rng::seeded(1);
+    for (int i = 0; i < 1000; ++i) {
+        const point u = g.random_node(r);
+        ASSERT_GE(u.x, 0);
+        ASSERT_LT(u.x, 16);
+        ASSERT_GE(u.y, 0);
+        ASSERT_LT(u.y, 16);
+    }
+}
+
+TEST(TorusWalk, PositionsStayWrapped) {
+    const torus_geometry g(32);
+    torus_levy_walk w(1.5, rng::seeded(2), g);  // ballistic: would leave fast
+    for (int i = 0; i < 20000; ++i) {
+        const point p = w.step();
+        ASSERT_GE(p.x, 0);
+        ASSERT_LT(p.x, 32);
+        ASSERT_GE(p.y, 0);
+        ASSERT_LT(p.y, 32);
+    }
+    EXPECT_EQ(w.steps(), 20000u);
+}
+
+TEST(TorusWalk, StepsAreUnitOnTheTorus) {
+    const torus_geometry g(16);
+    torus_levy_walk w(2.0, rng::seeded(3), g, {15, 15});
+    point prev = w.position();
+    for (int i = 0; i < 5000; ++i) {
+        const point next = w.step();
+        ASSERT_LE(g.distance(prev, next), 1);
+        prev = next;
+    }
+}
+
+TEST(TorusWalk, JumpsCappedAtHalfTorus) {
+    // A phase never moves the unwrapped position by more than n/2.
+    const torus_geometry g(20);
+    torus_levy_walk w(1.2, rng::seeded(4), g);  // heavy tails beg to exceed
+    point phase_start = w.unwrapped();
+    for (int i = 0; i < 20000; ++i) {
+        const bool was_between = !w.in_phase();
+        if (was_between) phase_start = w.unwrapped();
+        w.step();
+        ASSERT_LE(l1_distance(phase_start, w.unwrapped()), 10);
+    }
+}
+
+TEST(TorusWalk, FindsUniformTargetEventually) {
+    const torus_geometry g(24);
+    rng master = rng::seeded(5);
+    int hits = 0;
+    for (int trial = 0; trial < 30; ++trial) {
+        rng stream = master.substream(trial);
+        const point target_node = g.random_node(stream);
+        torus_levy_walk w(2.0, stream, g);
+        const torus_disc_target target{g, target_node, 0};
+        hits += hit_within(w, target, 20 * g.area()).hit;
+    }
+    EXPECT_GE(hits, 25);  // bounded domain: detection is a matter of time
+}
+
+TEST(TorusWalk, IntermittentSensingWorksOnTorus) {
+    const torus_geometry g(16);
+    torus_levy_walk w(2.0, rng::seeded(6), g);
+    static_assert(phased_process<torus_levy_walk>);
+    const torus_disc_target target{g, {8, 8}, 1};
+    const auto r = hit_within_intermittent(w, target, 50000);
+    if (r.hit && r.time > 0) {
+        EXPECT_FALSE(w.in_phase());
+        EXPECT_LE(g.distance(w.position(), {8, 8}), 1);
+    }
+}
+
+TEST(TorusWalk, DeterministicGivenSeed) {
+    const torus_geometry g(32);
+    torus_levy_walk a(2.5, rng::seeded(7), g), b(2.5, rng::seeded(7), g);
+    for (int i = 0; i < 2000; ++i) ASSERT_EQ(a.step(), b.step());
+}
+
+}  // namespace
+}  // namespace levy::torus

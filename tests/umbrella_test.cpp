@@ -1,0 +1,32 @@
+// The umbrella header must pull in the whole public API and compose.
+
+#include <levy/levy.h>
+
+#include <gtest/gtest.h>
+
+namespace {
+
+TEST(Umbrella, EndToEndSmoke) {
+    using namespace levy;
+    // One line per subsystem, all through the umbrella header.
+    rng g = rng::seeded(42);
+    levy_walk walk(2.5, g.substream(0));
+    const auto solo = hit_within(walk, point{4, 0}, 500);
+    (void)solo;
+    const auto fleet = parallel_hit(4, uniform_exponent(), {4, 0}, 500, g.substream(1));
+    EXPECT_LE(fleet.time, 500u);
+    const auto band = analysis::lemma32_bounds(12, 5);
+    EXPECT_LT(band.lo, band.hi);
+    EXPECT_GT(theory::universal_lower_bound(4.0, 16.0), 0.0);
+    baselines::spiral_search spiral;
+    spiral.step();
+    const torus::torus_geometry torus(8);
+    EXPECT_EQ(torus.area(), 64u);
+    const smallworld::kleinberg_grid kg(8, 2.0, 1);
+    EXPECT_EQ(kg.n(), 8);
+    stats::running_summary s;
+    s.add(1.0);
+    EXPECT_EQ(s.count(), 1u);
+}
+
+}  // namespace
