@@ -2,9 +2,11 @@
 
 // Shared scaffolding for the experiment binaries (E1-E14). Each binary
 // validates one statement of the paper: it prints the claim, sweeps the
-// statement's parameters, and emits a paper-vs-measured table. All binaries
-// accept --trials/--scale/--threads/--seed/--csv (see sim::run_options) and
-// run with fast defaults suitable for `for b in build/bench/*; do $b; done`.
+// statement's parameters, and emits a paper-vs-measured table plus one
+// throughput line (trials/s and worker utilization on the persistent pool).
+// All binaries accept --trials/--scale/--threads/--chunk/--seed/--csv (see
+// sim::run_options) and run with fast defaults suitable for
+// `for b in build/bench/*; do $b; done`.
 
 #include <cstdint>
 #include <exception>
@@ -14,6 +16,7 @@
 #include <vector>
 
 #include "src/core/hitting.h"
+#include "src/core/parallel_search.h"
 #include "src/rng/rng_stream.h"
 #include "src/sim/experiment.h"
 #include "src/sim/monte_carlo.h"
@@ -34,6 +37,8 @@ inline int run_main(int argc, char** argv,
     try {
         const auto opts = sim::parse_run_options(argc, argv);
         body(opts);
+        const auto metrics = sim::metrics_snapshot();
+        if (metrics.trials > 0) std::cout << sim::format_throughput(metrics) << '\n';
         return 0;
     } catch (const std::exception& e) {
         std::cerr << argv[0] << ": " << e.what() << '\n';
@@ -50,22 +55,14 @@ inline std::int64_t scaled(std::int64_t base, double scale) {
 /// Generic parallel hitting time over k arbitrary jump processes, for the
 /// baseline comparisons (E9) where the searchers are not Lévy walks.
 /// `make(i, stream)` builds the i-th searcher from its private stream.
+/// Thin wrapper over the shared shrinking-budget loop in
+/// `levy::parallel_min_hit`, so the early-exit logic lives in one place.
 template <class Factory>
 hit_result parallel_hit_generic(std::size_t k, point target, std::uint64_t budget,
                                 rng trial_stream, Factory&& make) {
-    hit_result best{false, budget};
-    const point_target goal{target};
-    for (std::size_t i = 0; i < k; ++i) {
-        rng stream = trial_stream.substream(i);
-        auto proc = make(i, stream);
-        const std::uint64_t remaining = best.hit ? best.time - 1 : budget;
-        const hit_result r = hit_within(proc, goal, remaining);
-        if (r.hit) {
-            best = r;
-            if (r.time == 0) break;
-        }
-    }
-    return best;
+    const parallel_result r =
+        parallel_min_hit(k, target, budget, trial_stream, std::forward<Factory>(make));
+    return {r.hit, r.time};
 }
 
 }  // namespace levy::bench

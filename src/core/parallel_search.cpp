@@ -6,24 +6,17 @@ namespace levy {
 
 parallel_result parallel_hit(std::size_t k, const exponent_strategy& strategy, point target,
                              std::uint64_t budget, rng trial_stream, std::uint64_t cap) {
-    parallel_result best;
-    best.time = budget;
-    const point_target goal{target};
-    for (std::size_t i = 0; i < k; ++i) {
-        rng walk_stream = trial_stream.substream(i);
-        const double alpha = strategy(i, walk_stream);
-        levy_walk walk(alpha, walk_stream, origin, cap);
-        // Beat the current best or don't bother: a hit at `best.time` or
-        // later does not change the parallel minimum.
-        const std::uint64_t remaining = best.hit ? best.time - 1 : budget;
-        const hit_result r = hit_within(walk, goal, remaining);
-        if (r.hit) {
-            best.hit = true;
-            best.time = r.time;
-            best.winner = i;
-            best.winner_alpha = alpha;
-            if (r.time == 0) break;  // target at the origin: cannot improve
-        }
+    parallel_result best =
+        parallel_min_hit(k, target, budget, trial_stream, [&](std::size_t i, rng& stream) {
+            const double alpha = strategy(i, stream);
+            return levy_walk(alpha, stream, origin, cap);
+        });
+    if (best.hit) {
+        // Re-derive the winner's exponent: strategy draws are a pure
+        // function of (trial_stream, walk index), so this replays exactly
+        // the value the winning walk used.
+        rng walk_stream = trial_stream.substream(best.winner);
+        best.winner_alpha = strategy(best.winner, walk_stream);
     }
     return best;
 }

@@ -28,6 +28,36 @@ struct parallel_result {
     static constexpr std::size_t kNoWinner = std::numeric_limits<std::size_t>::max();
 };
 
+/// The parallel-minimum hitting loop shared by `parallel_hit` and the bench
+/// baselines: k searchers built by `make(i, stream)` (each from its private
+/// substream of `trial_stream`), simulated one after another with a
+/// shrinking budget — a searcher only needs to beat the best time found so
+/// far, which changes nothing statistically (the searchers are independent)
+/// but saves most of the work once an early one hits. `winner_alpha` is left
+/// NaN; callers that know the exponents fill it in.
+template <class Factory>
+parallel_result parallel_min_hit(std::size_t k, point target, std::uint64_t budget,
+                                 rng trial_stream, Factory&& make) {
+    parallel_result best;
+    best.time = budget;
+    const point_target goal{target};
+    for (std::size_t i = 0; i < k; ++i) {
+        rng stream = trial_stream.substream(i);
+        auto proc = make(i, stream);
+        // Beat the current best or don't bother: a hit at `best.time` or
+        // later does not change the parallel minimum.
+        const std::uint64_t remaining = best.hit ? best.time - 1 : budget;
+        const hit_result r = hit_within(proc, goal, remaining);
+        if (r.hit) {
+            best.hit = true;
+            best.time = r.time;
+            best.winner = i;
+            if (r.time == 0) break;  // target at the origin: cannot improve
+        }
+    }
+    return best;
+}
+
 /// Simulate τ^k for a point target: each of the k walks gets an exponent
 /// from `strategy` and a private substream of `trial_stream`, runs for at
 /// most `budget` steps, and the minimum hitting time wins.

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "src/rng/zeta.h"
+
 namespace levy {
 
 zipf_sampler::zipf_sampler(double alpha) : alpha_(alpha) {
@@ -39,10 +41,31 @@ std::uint64_t zipf_sampler::operator()(rng& g) const {
 std::uint64_t zipf_sampler::sample_capped(rng& g, std::uint64_t cap) const {
     if (cap == 0) throw std::invalid_argument("zipf_sampler: cap must be >= 1");
     if (cap == 1) return 1;
-    for (;;) {
+    // Rejection is cheap when P(X <= cap) is large, but that probability is
+    // ~ 1 - cap^{1-α}, which for small caps with α near 1 can be tiny — the
+    // unbounded loop would spin for thousands of draws. Bound the rejection
+    // attempts and fall back to exact inverse-CDF sampling over [1, cap].
+    constexpr int kMaxRejections = 64;
+    for (int attempt = 0; attempt < kMaxRejections; ++attempt) {
         const std::uint64_t x = (*this)(g);
         if (x <= cap) return x;
     }
+    // Inverse CDF of the truncated law: find the smallest m in [1, cap]
+    // with H(m, α) >= u · H(cap, α), where H is the generalized harmonic
+    // number (partial zeta sum). Binary search keeps this O(log cap)
+    // evaluations — no O(cap) table even for astronomical caps.
+    const double total = harmonic(cap, alpha_);
+    const double u = g.uniform() * total;
+    std::uint64_t lo = 1, hi = cap;
+    while (lo < hi) {
+        const std::uint64_t mid = lo + (hi - lo) / 2;
+        if (harmonic(mid, alpha_) >= u) {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    return lo;
 }
 
 zipf_table_sampler::zipf_table_sampler(double alpha, std::uint64_t cap) {

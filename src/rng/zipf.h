@@ -24,7 +24,10 @@ public:
     /// Draw one Zipf(α) variate.
     [[nodiscard]] std::uint64_t operator()(rng& g) const;
 
-    /// Draw conditioned on X <= cap (cap >= 1), by rejection.
+    /// Draw conditioned on X <= cap (cap >= 1). Rejection against the
+    /// unconditioned sampler while it is cheap, with an exact inverse-CDF
+    /// fallback over [1, cap] after a bounded number of rejections, so
+    /// small caps with α near 1 cannot make the draw spin unboundedly.
     [[nodiscard]] std::uint64_t sample_capped(rng& g, std::uint64_t cap) const;
 
     [[nodiscard]] double alpha() const noexcept { return alpha_; }

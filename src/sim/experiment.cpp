@@ -1,6 +1,7 @@
 #include "src/sim/experiment.h"
 
 #include <charconv>
+#include <sstream>
 #include <stdexcept>
 #include <string_view>
 
@@ -28,8 +29,20 @@ mc_options run_options::mc(std::size_t default_trials, std::uint64_t salt) const
     mc_options opts;
     opts.trials = trials != 0 ? trials : default_trials;
     opts.threads = threads;
+    opts.chunk = chunk;
     opts.seed = salt == 0 ? seed : mix64(seed, salt);
     return opts;
+}
+
+std::string format_throughput(const run_metrics& m) {
+    if (m.trials == 0) return {};
+    std::ostringstream out;
+    out.precision(3);
+    out << "throughput: " << m.trials << " trials in " << m.wall_seconds << " s ("
+        << static_cast<std::uint64_t>(m.trials_per_sec()) << " trials/s, " << m.max_workers
+        << (m.max_workers == 1 ? " worker" : " workers") << ", "
+        << static_cast<int>(m.utilization() * 100.0 + 0.5) << "% utilization)";
+    return out.str();
 }
 
 run_options parse_run_options(int argc, char** argv) {
@@ -50,13 +63,16 @@ run_options parse_run_options(int argc, char** argv) {
             opts.scale = parse_number<double>(s, "scale");
         } else if (auto t = eat("--threads"); !t.empty()) {
             opts.threads = parse_number<unsigned>(t, "threads");
+        } else if (auto k = eat("--chunk"); !k.empty()) {
+            opts.chunk = parse_number<std::size_t>(k, "chunk");
         } else if (auto x = eat("--seed"); !x.empty()) {
             opts.seed = parse_number<std::uint64_t>(x, "seed");
         } else if (auto c = eat("--csv"); !c.empty()) {
             opts.csv_path = std::string(c);
         } else if (arg == "--help" || arg == "-h") {
             throw std::invalid_argument(
-                "usage: [--trials=N] [--scale=S] [--threads=T] [--seed=X] [--csv=PATH]");
+                "usage: [--trials=N] [--scale=S] [--threads=T] [--chunk=C] [--seed=X] "
+                "[--csv=PATH]");
         } else {
             throw std::invalid_argument("unknown argument: " + std::string(arg));
         }

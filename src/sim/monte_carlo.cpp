@@ -1,9 +1,24 @@
 #include "src/sim/monte_carlo.h"
 
 #include <algorithm>
+#include <atomic>
 #include <thread>
 
 namespace levy::sim {
+namespace {
+
+// Process-wide throughput accumulator. Doubles are accumulated as
+// nanosecond counts so plain atomics suffice.
+std::atomic<std::uint64_t> g_trials{0};
+std::atomic<std::uint64_t> g_wall_ns{0};
+std::atomic<std::uint64_t> g_busy_ns{0};
+std::atomic<unsigned> g_max_workers{0};
+
+std::uint64_t to_ns(double seconds) {
+    return static_cast<std::uint64_t>(seconds * 1e9);
+}
+
+}  // namespace
 
 unsigned resolve_threads(unsigned threads) noexcept {
     if (threads != 0) return threads;
@@ -11,24 +26,37 @@ unsigned resolve_threads(unsigned threads) noexcept {
     return hw == 0 ? 1 : hw;
 }
 
-void parallel_for(std::size_t n, unsigned threads, const std::function<void(std::size_t)>& fn) {
-    if (n == 0) return;
-    const unsigned workers =
-        static_cast<unsigned>(std::min<std::size_t>(resolve_threads(threads), n));
-    if (workers <= 1) {
-        for (std::size_t i = 0; i < n; ++i) fn(i);
-        return;
+pool_metrics parallel_for(std::size_t n, unsigned threads,
+                          const std::function<void(std::size_t)>& fn, std::size_t chunk) {
+    const pool_metrics m = thread_pool::instance().run(n, resolve_threads(threads), chunk, fn);
+    record_metrics(m);
+    return m;
+}
+
+void record_metrics(const pool_metrics& m) noexcept {
+    g_trials.fetch_add(m.items, std::memory_order_relaxed);
+    g_wall_ns.fetch_add(to_ns(m.wall_seconds), std::memory_order_relaxed);
+    g_busy_ns.fetch_add(to_ns(m.busy_seconds), std::memory_order_relaxed);
+    unsigned seen = g_max_workers.load(std::memory_order_relaxed);
+    while (seen < m.workers &&
+           !g_max_workers.compare_exchange_weak(seen, m.workers, std::memory_order_relaxed)) {
     }
-    std::vector<std::thread> pool;
-    pool.reserve(workers);
-    for (unsigned w = 0; w < workers; ++w) {
-        pool.emplace_back([&, w] {
-            // Strided assignment: trial costs are often monotone in the trial
-            // parameters, so striding balances load better than blocks.
-            for (std::size_t i = w; i < n; i += workers) fn(i);
-        });
-    }
-    for (auto& t : pool) t.join();
+}
+
+run_metrics metrics_snapshot() noexcept {
+    run_metrics out;
+    out.trials = g_trials.load(std::memory_order_relaxed);
+    out.wall_seconds = static_cast<double>(g_wall_ns.load(std::memory_order_relaxed)) * 1e-9;
+    out.busy_seconds = static_cast<double>(g_busy_ns.load(std::memory_order_relaxed)) * 1e-9;
+    out.max_workers = g_max_workers.load(std::memory_order_relaxed);
+    return out;
+}
+
+void reset_metrics() noexcept {
+    g_trials.store(0, std::memory_order_relaxed);
+    g_wall_ns.store(0, std::memory_order_relaxed);
+    g_busy_ns.store(0, std::memory_order_relaxed);
+    g_max_workers.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace levy::sim

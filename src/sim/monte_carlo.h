@@ -2,9 +2,11 @@
 
 #include <cstdint>
 #include <functional>
+#include <stdexcept>
 #include <vector>
 
 #include "src/rng/rng_stream.h"
+#include "src/sim/thread_pool.h"
 #include "src/stats/proportion.h"
 
 namespace levy::sim {
@@ -19,38 +21,79 @@ struct mc_options {
     /// 0 = use std::thread::hardware_concurrency().
     unsigned threads = 0;
     std::uint64_t seed = kDefaultSeed;
+    /// Work-queue chunk size handed to each worker at a time; 0 = auto
+    /// (~8 chunks per worker). Smaller chunks rebalance heavy-tailed trial
+    /// costs better at the price of more atomic traffic.
+    std::size_t chunk = 0;
 };
 
-/// Run `fn(i)` for i in [0, n) across `threads` worker threads (static
-/// block partition). `fn` must be safe to call concurrently for distinct i.
-void parallel_for(std::size_t n, unsigned threads, const std::function<void(std::size_t)>& fn);
+/// Run `fn(i)` for i in [0, n) on the persistent worker pool (chunked
+/// dynamic schedule: workers repeatedly claim the next `chunk` indices from
+/// a shared atomic counter). The first exception thrown by `fn` is rethrown
+/// on the calling thread after the pool drains; remaining chunks are
+/// abandoned. `fn` must be safe to call concurrently for distinct i.
+/// Returns the run's cost metrics (also added to the process throughput
+/// accumulator, see `metrics_snapshot`).
+pool_metrics parallel_for(std::size_t n, unsigned threads,
+                          const std::function<void(std::size_t)>& fn, std::size_t chunk = 0);
 
 /// Resolve `threads == 0` to the hardware concurrency (at least 1).
 [[nodiscard]] unsigned resolve_threads(unsigned threads) noexcept;
+
+/// Cumulative Monte-Carlo throughput for this process: every `parallel_for`
+/// run adds its cost here, so a bench can print one trials/sec +
+/// utilization line for the whole sweep.
+struct run_metrics {
+    std::size_t trials = 0;
+    double wall_seconds = 0.0;
+    double busy_seconds = 0.0;
+    unsigned max_workers = 0;
+
+    [[nodiscard]] double trials_per_sec() const noexcept {
+        return wall_seconds > 0.0 ? static_cast<double>(trials) / wall_seconds : 0.0;
+    }
+    /// Busy fraction of the workers' combined wall-clock capacity.
+    [[nodiscard]] double utilization() const noexcept {
+        const double capacity = wall_seconds * static_cast<double>(max_workers);
+        return capacity > 0.0 ? busy_seconds / capacity : 1.0;
+    }
+};
+
+void record_metrics(const pool_metrics& m) noexcept;
+[[nodiscard]] run_metrics metrics_snapshot() noexcept;
+void reset_metrics() noexcept;
 
 /// Run `opts.trials` independent trials of `trial_fn(trial_index, stream)`
 /// and collect the results in trial order.
 ///
 /// Each trial's stream is derived purely from (opts.seed, trial_index), so
-/// the output is bit-identical for any thread count — the property the
-/// reproducibility tests pin down.
+/// the output is bit-identical for any thread count and chunk size — the
+/// property the reproducibility tests pin down. A throwing trial aborts the
+/// run and rethrows on the caller.
 template <class F>
 auto monte_carlo_collect(const mc_options& opts, F&& trial_fn)
     -> std::vector<decltype(trial_fn(std::size_t{}, std::declval<rng&>()))> {
     using result_t = decltype(trial_fn(std::size_t{}, std::declval<rng&>()));
     std::vector<result_t> results(opts.trials);
     const rng master = rng::seeded(opts.seed);
-    parallel_for(opts.trials, opts.threads, [&](std::size_t i) {
-        rng stream = master.substream(i);
-        results[i] = trial_fn(i, stream);
-    });
+    parallel_for(
+        opts.trials, opts.threads,
+        [&](std::size_t i) {
+            rng stream = master.substream(i);
+            results[i] = trial_fn(i, stream);
+        },
+        opts.chunk);
     return results;
 }
 
 /// Estimate P(event) with a Wilson interval: `pred(trial_index, stream)`
-/// decides success per trial.
+/// decides success per trial. Requires opts.trials >= 1 (the interval is
+/// undefined on an empty sample).
 template <class F>
 stats::proportion estimate_probability(const mc_options& opts, F&& pred) {
+    if (opts.trials == 0) {
+        throw std::invalid_argument("estimate_probability: opts.trials must be >= 1");
+    }
     const auto outcomes = monte_carlo_collect(opts, [&](std::size_t i, rng& g) {
         return static_cast<int>(static_cast<bool>(pred(i, g)));
     });

@@ -1,0 +1,84 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+namespace levy::sim {
+
+/// What one parallel run cost: wall time on the calling thread, busy time
+/// summed over every participating worker (caller included), and the
+/// schedule actually used. `utilization()` near 1 means the chunked queue
+/// kept every worker fed; well below 1 means tail-heavy items left workers
+/// idle (try a smaller chunk).
+struct pool_metrics {
+    std::size_t items = 0;
+    std::size_t chunk = 1;
+    unsigned workers = 1;
+    double wall_seconds = 0.0;
+    double busy_seconds = 0.0;
+
+    [[nodiscard]] double utilization() const noexcept {
+        const double capacity = wall_seconds * static_cast<double>(workers);
+        return capacity > 0.0 ? busy_seconds / capacity : 1.0;
+    }
+};
+
+/// Persistent, process-wide worker pool behind `sim::parallel_for`.
+///
+/// Workers are spawned once (lazily, on the first parallel run that needs
+/// them) and then sleep between runs, so a bench sweeping hundreds of table
+/// rows pays thread-creation cost once instead of per row. Work is handed
+/// out in chunks claimed from an atomic counter — a dynamic schedule, so the
+/// heavy-tailed per-trial costs typical of Lévy searches balance across
+/// workers instead of serializing behind the unluckiest stride.
+///
+/// Exceptions: the first exception thrown by `fn` is captured, the
+/// remaining chunks are abandoned, and the exception is rethrown on the
+/// calling thread once every worker has drained — a throwing trial surfaces
+/// to the caller instead of hitting std::terminate.
+///
+/// Determinism: the pool never feeds scheduling state into `fn`; as long as
+/// `fn(i)` depends only on `i` (the Monte-Carlo driver derives each trial's
+/// RNG purely from (seed, trial_index)), results are bit-identical for every
+/// worker count and chunk size.
+class thread_pool {
+public:
+    /// The process-wide pool. Never destroyed before exit.
+    [[nodiscard]] static thread_pool& instance();
+
+    thread_pool(const thread_pool&) = delete;
+    thread_pool& operator=(const thread_pool&) = delete;
+    ~thread_pool();
+
+    /// Run `fn(i)` for i in [0, n) with up to `parallelism` concurrent
+    /// workers (the calling thread participates). `chunk == 0` picks
+    /// `auto_chunk`. Runs inline when one worker suffices or when called
+    /// from inside a pool worker (nested parallelism stays serial rather
+    /// than deadlocking). Concurrent calls from distinct external threads
+    /// serialize. `fn` must be safe to call concurrently for distinct i.
+    pool_metrics run(std::size_t n, unsigned parallelism, std::size_t chunk,
+                     const std::function<void(std::size_t)>& fn);
+
+    /// Workers spawned so far (grows on demand, bounded by kMaxWorkers).
+    [[nodiscard]] unsigned spawned_workers() const noexcept;
+
+    /// Default chunk size: ~8 chunks per worker so the dynamic queue can
+    /// rebalance around expensive items, clamped to [1, 1024] to bound
+    /// atomic traffic on huge runs.
+    [[nodiscard]] static std::size_t auto_chunk(std::size_t n, unsigned workers) noexcept;
+
+    static constexpr unsigned kMaxWorkers = 256;
+
+private:
+    thread_pool();
+
+    struct job;
+    struct impl;
+    impl* impl_;
+
+    void worker_loop(unsigned index);
+    void execute(job& j);
+};
+
+}  // namespace levy::sim

@@ -76,6 +76,32 @@ TEST(ZipfSampler, CapOneIsDegenerate) {
     for (int i = 0; i < 100; ++i) ASSERT_EQ(z.sample_capped(g, 1), 1u);
 }
 
+TEST(ZipfSampler, CappedSmallCapNearOneTerminates) {
+    // The pathological corner for pure rejection: P(X <= cap) is tiny when
+    // α is near 1 and the cap small, so the unbounded loop used to spin for
+    // thousands of draws per sample. The bounded-rejection + inverse-CDF
+    // fallback must return promptly and still follow the truncated law.
+    const double alpha = 1.05;
+    const std::uint64_t cap = 3;
+    zipf_sampler rejection(alpha);
+    zipf_table_sampler table(alpha, cap);
+    rng g = rng::seeded(8);
+    const int n = 20000;
+    std::vector<int> counts(cap + 1, 0);
+    for (int i = 0; i < n; ++i) {
+        const std::uint64_t x = rejection.sample_capped(g, cap);
+        ASSERT_GE(x, 1u);
+        ASSERT_LE(x, cap);
+        ++counts[x];
+    }
+    for (std::uint64_t k = 1; k <= cap; ++k) {
+        const double expected = table.pmf(k);
+        const double observed = static_cast<double>(counts[k]) / n;
+        const double sigma = std::sqrt(expected * (1.0 - expected) / n);
+        EXPECT_NEAR(observed, expected, 6.0 * sigma + 1e-3) << "k=" << k;
+    }
+}
+
 TEST(ZipfSampler, CappedMatchesTableSampler) {
     // The rejection-capped law must coincide with the exact truncated law.
     const double alpha = 2.0;

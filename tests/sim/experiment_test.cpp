@@ -26,20 +26,45 @@ TEST(RunOptions, DefaultsWhenNoArgs) {
     EXPECT_EQ(opts.trials, 0u);
     EXPECT_DOUBLE_EQ(opts.scale, 1.0);
     EXPECT_EQ(opts.threads, 0u);
+    EXPECT_EQ(opts.chunk, 0u);
     EXPECT_EQ(opts.seed, kDefaultSeed);
     EXPECT_TRUE(opts.csv_path.empty());
 }
 
 TEST(RunOptions, ParsesAllFlags) {
     std::vector<std::string> args = {"--trials=500", "--scale=2.5", "--threads=3",
-                                     "--seed=777", "--csv=/tmp/out.csv"};
+                                     "--chunk=16",   "--seed=777",  "--csv=/tmp/out.csv"};
     auto argv = argv_of(args);
     const auto opts = parse_run_options(static_cast<int>(argv.size()), argv.data());
     EXPECT_EQ(opts.trials, 500u);
     EXPECT_DOUBLE_EQ(opts.scale, 2.5);
     EXPECT_EQ(opts.threads, 3u);
+    EXPECT_EQ(opts.chunk, 16u);
     EXPECT_EQ(opts.seed, 777u);
     EXPECT_EQ(opts.csv_path, "/tmp/out.csv");
+}
+
+TEST(RunOptions, McForwardsChunk) {
+    run_options opts;
+    opts.chunk = 32;
+    EXPECT_EQ(opts.mc(10).chunk, 32u);
+}
+
+TEST(FormatThroughput, EmptyWithoutTrials) {
+    EXPECT_TRUE(format_throughput(run_metrics{}).empty());
+}
+
+TEST(FormatThroughput, MentionsTrialsAndWorkers) {
+    run_metrics m;
+    m.trials = 1000;
+    m.wall_seconds = 2.0;
+    m.busy_seconds = 3.0;
+    m.max_workers = 2;
+    const std::string line = format_throughput(m);
+    EXPECT_NE(line.find("1000 trials"), std::string::npos);
+    EXPECT_NE(line.find("500 trials/s"), std::string::npos);
+    EXPECT_NE(line.find("2 workers"), std::string::npos);
+    EXPECT_NE(line.find("75% utilization"), std::string::npos);
 }
 
 TEST(RunOptions, RejectsUnknownFlag) {

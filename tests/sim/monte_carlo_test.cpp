@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <set>
+#include <stdexcept>
 #include <vector>
 
 #include "src/sim/monte_carlo.h"
@@ -31,6 +32,22 @@ TEST(ParallelFor, SingleThreadFallback) {
 TEST(ResolveThreads, ZeroMeansHardware) {
     EXPECT_GE(resolve_threads(0), 1u);
     EXPECT_EQ(resolve_threads(7), 7u);
+}
+
+TEST(ParallelFor, ReportsRunMetrics) {
+    const auto m = parallel_for(512, 4, [](std::size_t) {}, /*chunk=*/8);
+    EXPECT_EQ(m.items, 512u);
+    EXPECT_EQ(m.chunk, 8u);
+    EXPECT_GE(m.workers, 1u);
+    EXPECT_GE(m.wall_seconds, 0.0);
+}
+
+TEST(ParallelFor, PropagatesWorkerExceptions) {
+    EXPECT_THROW(parallel_for(100, 4,
+                              [](std::size_t i) {
+                                  if (i == 42) throw std::runtime_error("worker exception");
+                              }),
+                 std::runtime_error);
 }
 
 TEST(MonteCarlo, ResultsIndependentOfThreadCount) {

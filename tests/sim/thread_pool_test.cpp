@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "src/sim/monte_carlo.h"
+#include "src/sim/thread_pool.h"
+
+namespace levy::sim {
+namespace {
+
+TEST(ThreadPool, RunsEveryIndexOnce) {
+    const std::size_t n = 1000;
+    std::vector<std::atomic<int>> counts(n);
+    thread_pool::instance().run(n, 4, 7, [&](std::size_t i) { counts[i].fetch_add(1); });
+    for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(counts[i].load(), 1) << i;
+}
+
+TEST(ThreadPool, WorkersPersistAcrossRuns) {
+    auto& pool = thread_pool::instance();
+    std::atomic<int> hits{0};
+    pool.run(64, 4, 0, [&](std::size_t) { hits.fetch_add(1); });
+    const unsigned after_first = pool.spawned_workers();
+    for (int round = 0; round < 20; ++round) {
+        pool.run(64, 4, 0, [&](std::size_t) { hits.fetch_add(1); });
+    }
+    // Reuse, not respawn: the worker count is unchanged after 20 more runs.
+    EXPECT_EQ(pool.spawned_workers(), after_first);
+    EXPECT_EQ(hits.load(), 64 * 21);
+}
+
+TEST(ThreadPool, FirstExceptionPropagatesToCaller) {
+    EXPECT_THROW(
+        thread_pool::instance().run(256, 4, 1,
+                                    [&](std::size_t i) {
+                                        if (i == 97) throw std::runtime_error("trial 97 failed");
+                                    }),
+        std::runtime_error);
+}
+
+TEST(ThreadPool, ExceptionMessageSurvives) {
+    try {
+        thread_pool::instance().run(64, 4, 1, [&](std::size_t i) {
+            if (i == 5) throw std::runtime_error("bad parameter row");
+        });
+        FAIL() << "expected std::runtime_error";
+    } catch (const std::runtime_error& e) {
+        EXPECT_EQ(std::string(e.what()), "bad parameter row");
+    }
+}
+
+TEST(ThreadPool, ExceptionCancelsRemainingChunks) {
+    const std::size_t n = 1 << 16;
+    std::atomic<std::size_t> executed{0};
+    try {
+        thread_pool::instance().run(n, 2, 1, [&](std::size_t i) {
+            // Whichever thread claims the first chunk throws immediately;
+            // every other item burns ~1us so a broken cancellation path
+            // would take visibly long and execute nearly all of n.
+            if (i == 0) throw std::runtime_error("abort early");
+            volatile std::uint64_t sink = 0;
+            for (int spin = 0; spin < 200; ++spin) sink = sink + spin;
+            executed.fetch_add(1);
+        });
+        FAIL() << "expected std::runtime_error";
+    } catch (const std::runtime_error&) {
+    }
+    // Workers stop claiming chunks once cancelled; the bulk of the items
+    // must never run (generous margin for scheduling delay on loaded CI).
+    EXPECT_LT(executed.load(), n / 2);
+}
+
+TEST(ThreadPool, UsableAfterException) {
+    auto& pool = thread_pool::instance();
+    EXPECT_THROW(pool.run(32, 4, 1, [](std::size_t) { throw std::runtime_error("boom"); }),
+                 std::runtime_error);
+    std::atomic<int> ok{0};
+    pool.run(32, 4, 1, [&](std::size_t) { ok.fetch_add(1); });
+    EXPECT_EQ(ok.load(), 32);
+}
+
+TEST(ThreadPool, SerialPathPropagatesExceptionToo) {
+    EXPECT_THROW(
+        thread_pool::instance().run(8, 1, 0,
+                                    [](std::size_t i) {
+                                        if (i == 3) throw std::invalid_argument("serial");
+                                    }),
+        std::invalid_argument);
+}
+
+TEST(ThreadPool, NestedRunFallsBackToSerial) {
+    // A trial that itself calls the pool must not deadlock.
+    std::atomic<int> inner{0};
+    thread_pool::instance().run(4, 4, 1, [&](std::size_t) {
+        thread_pool::instance().run(8, 4, 1, [&](std::size_t) { inner.fetch_add(1); });
+    });
+    EXPECT_EQ(inner.load(), 4 * 8);
+}
+
+TEST(ThreadPool, MetricsCountItemsAndWorkers) {
+    const auto m = thread_pool::instance().run(128, 4, 4, [](std::size_t) {});
+    EXPECT_EQ(m.items, 128u);
+    EXPECT_EQ(m.chunk, 4u);
+    EXPECT_GE(m.workers, 1u);
+    EXPECT_LE(m.workers, 4u);
+    EXPECT_GE(m.wall_seconds, 0.0);
+    EXPECT_GE(m.utilization(), 0.0);
+}
+
+TEST(ThreadPool, AutoChunkStaysInBounds) {
+    EXPECT_EQ(thread_pool::auto_chunk(0, 4), 1u);
+    EXPECT_EQ(thread_pool::auto_chunk(10, 4), 1u);
+    EXPECT_EQ(thread_pool::auto_chunk(3200, 4), 100u);
+    EXPECT_EQ(thread_pool::auto_chunk(std::size_t{1} << 40, 4), 1024u);
+}
+
+TEST(MonteCarlo, ThrowingTrialPropagatesFromCollect) {
+    mc_options opts{.trials = 200, .threads = 4, .seed = 11};
+    EXPECT_THROW(monte_carlo_collect(opts,
+                                     [](std::size_t i, rng&) -> int {
+                                         if (i == 123) throw std::domain_error("row 123");
+                                         return 0;
+                                     }),
+                 std::domain_error);
+}
+
+TEST(MonteCarlo, CollectReusesPoolAcrossCalls) {
+    mc_options opts{.trials = 128, .threads = 4, .seed = 21};
+    const auto f = [](std::size_t, rng& g) { return g(); };
+    const auto first = monte_carlo_collect(opts, f);
+    const unsigned workers = thread_pool::instance().spawned_workers();
+    for (int round = 0; round < 10; ++round) {
+        EXPECT_EQ(monte_carlo_collect(opts, f), first);
+    }
+    EXPECT_EQ(thread_pool::instance().spawned_workers(), workers);
+}
+
+TEST(MonteCarlo, BitIdenticalAcrossThreadCountsAndChunks) {
+    const auto f = [](std::size_t i, rng& g) { return g() ^ i; };
+    mc_options base{.trials = 257, .threads = 1, .seed = 0xfeed};
+    const auto reference = monte_carlo_collect(base, f);
+    for (unsigned threads : {2u, 8u}) {
+        for (std::size_t chunk : {std::size_t{0}, std::size_t{1}, std::size_t{16}}) {
+            mc_options opts{.trials = 257, .threads = threads, .seed = 0xfeed, .chunk = chunk};
+            EXPECT_EQ(monte_carlo_collect(opts, f), reference)
+                << "threads=" << threads << " chunk=" << chunk;
+        }
+    }
+}
+
+TEST(MonteCarlo, EstimateProbabilityRejectsZeroTrials) {
+    mc_options opts{.trials = 0, .threads = 1, .seed = 1};
+    EXPECT_THROW(estimate_probability(opts, [](std::size_t, rng&) { return true; }),
+                 std::invalid_argument);
+}
+
+TEST(MonteCarlo, MetricsAccumulateAcrossRuns) {
+    reset_metrics();
+    mc_options opts{.trials = 100, .threads = 2, .seed = 9};
+    const auto f = [](std::size_t, rng& g) { return g(); };
+    (void)monte_carlo_collect(opts, f);
+    (void)monte_carlo_collect(opts, f);
+    const auto m = metrics_snapshot();
+    EXPECT_EQ(m.trials, 200u);
+    EXPECT_GE(m.wall_seconds, 0.0);
+    EXPECT_GE(m.max_workers, 1u);
+    reset_metrics();
+    EXPECT_EQ(metrics_snapshot().trials, 0u);
+}
+
+}  // namespace
+}  // namespace levy::sim

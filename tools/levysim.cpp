@@ -24,6 +24,7 @@
 #include "src/core/levy_walk.h"
 #include "src/core/parallel_search.h"
 #include "src/core/strategy.h"
+#include "src/sim/experiment.h"
 #include "src/sim/monte_carlo.h"
 #include "src/sim/trial.h"
 #include "src/stats/summary.h"
@@ -187,13 +188,26 @@ int main(int argc, char** argv) {
         }
         const std::string_view cmd = argv[1];
         const arg_map args(argc, argv, 2);
-        if (cmd == "walk") return cmd_walk(args);
-        if (cmd == "hit") return cmd_hit(args);
-        if (cmd == "parallel") return cmd_parallel(args);
-        if (cmd == "sweep") return cmd_sweep(args);
-        if (cmd == "occupancy") return cmd_occupancy(args);
-        usage();
-        return 2;
+        int rc = 2;
+        if (cmd == "walk") {
+            rc = cmd_walk(args);
+        } else if (cmd == "hit") {
+            rc = cmd_hit(args);
+        } else if (cmd == "parallel") {
+            rc = cmd_parallel(args);
+        } else if (cmd == "sweep") {
+            rc = cmd_sweep(args);
+        } else if (cmd == "occupancy") {
+            rc = cmd_occupancy(args);
+        } else {
+            usage();
+        }
+        // Throughput goes to stderr so the CSV-emitting commands stay clean.
+        const auto metrics = sim::metrics_snapshot();
+        if (rc == 0 && metrics.trials > 0) {
+            std::cerr << sim::format_throughput(metrics) << '\n';
+        }
+        return rc;
     } catch (const std::exception& e) {
         std::cerr << "levysim: " << e.what() << '\n';
         return 1;
