@@ -67,7 +67,8 @@ void flight_occupancy::step() {
             scratch_[index(u)] += m * pmf_[0];  // the 1/2 atom at d = 0
             for (std::int64_t d = 1; d <= max_d; ++d) {
                 const double pd = pmf_[static_cast<std::size_t>(d)];
-                if (pd == 0.0) break;  // beyond the cap
+                // levylint:allow(float-equality) pmf_ entries beyond the cap are exactly 0
+                if (pd == 0.0) break;
                 const double share = m * pd / static_cast<double>(ring_size(d));
                 for (std::uint64_t j = 0; j < ring_size(d); ++j) {
                     const point v = ring_node(u, d, j);

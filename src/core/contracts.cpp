@@ -1,0 +1,41 @@
+#include "src/core/contracts.h"
+
+namespace levy {
+
+namespace {
+
+std::string compose(const char* kind, const char* expr, const char* file, int line,
+                    const std::string& msg) {
+    std::string out = msg;
+    out += " [";
+    out += kind;
+    out += " `";
+    out += expr;
+    out += "` at ";
+    out += file;
+    out += ":";
+    out += std::to_string(line);
+    out += "]";
+    return out;
+}
+
+}  // namespace
+
+contract_violation::contract_violation(const char* kind, const char* expr, const char* file,
+                                       int line, const std::string& msg)
+    : std::invalid_argument(compose(kind, expr, file, line, msg)),
+      kind_(kind),
+      expr_(expr),
+      file_(file),
+      line_(line) {}
+
+namespace detail {
+
+void contract_fail(const char* kind, const char* expr, const char* file, int line,
+                   const std::string& msg) {
+    throw contract_violation(kind, expr, file, line, msg);
+}
+
+}  // namespace detail
+
+}  // namespace levy

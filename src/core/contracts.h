@@ -1,0 +1,79 @@
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+/// Contract macros for the library's public entry points and internal
+/// invariants.
+///
+///   LEVY_PRECONDITION(cond, msg)  — caller-facing argument validation
+///   LEVY_ASSERT(cond, msg)        — internal invariant ("cannot happen")
+///
+/// In checked builds (LEVY_CONTRACTS == 1, the default for every preset in
+/// this repo) a failed contract throws levy::contract_violation, which
+/// derives from std::invalid_argument so call sites and tests that predate
+/// the contract layer keep catching what they always caught. Configuring
+/// with -DLEVY_CONTRACTS=OFF compiles both macros down to nothing; the
+/// unevaluated sizeof keeps the condition's operands "used" so release
+/// builds stay -Werror clean without sprinkling [[maybe_unused]].
+///
+/// Contracts guard against *programming errors* — arguments a correct
+/// caller can always check for itself. Validation of genuinely external
+/// input (command-line flags, files) stays a plain throw regardless of
+/// build flavor; see sim/experiment.cpp.
+
+#ifndef LEVY_CONTRACTS
+#define LEVY_CONTRACTS 1
+#endif
+
+namespace levy {
+
+/// Thrown by a failed LEVY_PRECONDITION / LEVY_ASSERT in checked builds.
+class contract_violation : public std::invalid_argument {
+public:
+    contract_violation(const char* kind, const char* expr, const char* file, int line,
+                       const std::string& msg);
+
+    /// "precondition" or "assertion".
+    [[nodiscard]] const char* kind() const noexcept { return kind_; }
+    /// The stringized condition that failed.
+    [[nodiscard]] const char* expression() const noexcept { return expr_; }
+    [[nodiscard]] const char* file() const noexcept { return file_; }
+    [[nodiscard]] int line() const noexcept { return line_; }
+
+private:
+    const char* kind_;
+    const char* expr_;
+    const char* file_;
+    int line_;
+};
+
+namespace detail {
+[[noreturn]] void contract_fail(const char* kind, const char* expr, const char* file, int line,
+                                const std::string& msg);
+}  // namespace detail
+
+}  // namespace levy
+
+#if LEVY_CONTRACTS
+
+#define LEVY_PRECONDITION(cond, msg)                                                      \
+    do {                                                                                  \
+        if (!(cond)) {                                                                    \
+            ::levy::detail::contract_fail("precondition", #cond, __FILE__, __LINE__, msg); \
+        }                                                                                 \
+    } while (false)
+
+#define LEVY_ASSERT(cond, msg)                                                            \
+    do {                                                                                  \
+        if (!(cond)) {                                                                    \
+            ::levy::detail::contract_fail("assertion", #cond, __FILE__, __LINE__, msg);    \
+        }                                                                                 \
+    } while (false)
+
+#else
+
+#define LEVY_PRECONDITION(cond, msg) static_cast<void>(sizeof(!(cond)))
+#define LEVY_ASSERT(cond, msg) static_cast<void>(sizeof(!(cond)))
+
+#endif

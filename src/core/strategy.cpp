@@ -2,27 +2,24 @@
 
 #include <algorithm>
 #include <cmath>
-#include <stdexcept>
+
+#include "src/core/contracts.h"
 
 namespace levy {
 
 exponent_strategy fixed_exponent(double alpha) {
-    if (!(alpha > 1.0)) throw std::invalid_argument("fixed_exponent: alpha must be > 1");
+    LEVY_PRECONDITION(alpha > 1.0, "fixed_exponent: alpha must be > 1");
     return [alpha](std::size_t, rng&) { return alpha; };
 }
 
 exponent_strategy uniform_exponent(double lo, double hi) {
-    if (!(lo > 1.0) || !(hi > lo)) {
-        throw std::invalid_argument("uniform_exponent: need 1 < lo < hi");
-    }
+    LEVY_PRECONDITION(lo > 1.0 && hi > lo, "uniform_exponent: need 1 < lo < hi");
     return [lo, hi](std::size_t, rng& g) { return g.uniform(lo, hi); };
 }
 
 exponent_strategy round_robin_exponent(double lo, double hi, std::size_t levels) {
-    if (!(lo > 1.0) || !(hi > lo)) {
-        throw std::invalid_argument("round_robin_exponent: need 1 < lo < hi");
-    }
-    if (levels == 0) throw std::invalid_argument("round_robin_exponent: levels must be >= 1");
+    LEVY_PRECONDITION(lo > 1.0 && hi > lo, "round_robin_exponent: need 1 < lo < hi");
+    LEVY_PRECONDITION(levels != 0, "round_robin_exponent: levels must be >= 1");
     return [lo, hi, levels](std::size_t i, rng&) {
         // Grid midpoints: (lo, hi) split into `levels` equal cells.
         const double cell = (hi - lo) / static_cast<double>(levels);
@@ -31,9 +28,9 @@ exponent_strategy round_robin_exponent(double lo, double hi, std::size_t levels)
 }
 
 exponent_strategy discrete_exponent(std::vector<double> menu) {
-    if (menu.empty()) throw std::invalid_argument("discrete_exponent: empty menu");
+    LEVY_PRECONDITION(!menu.empty(), "discrete_exponent: empty menu");
     for (const double a : menu) {
-        if (!(a > 1.0)) throw std::invalid_argument("discrete_exponent: all alphas must be > 1");
+        LEVY_PRECONDITION(a > 1.0, "discrete_exponent: all alphas must be > 1");
     }
     return [menu = std::move(menu)](std::size_t, rng& g) {
         return menu[g.below(menu.size())];
@@ -41,17 +38,13 @@ exponent_strategy discrete_exponent(std::vector<double> menu) {
 }
 
 double optimal_alpha(double k, double ell) {
-    if (!(k >= 1.0) || !(ell >= 2.0)) {
-        throw std::invalid_argument("optimal_alpha: need k >= 1 and ell >= 2");
-    }
+    LEVY_PRECONDITION(k >= 1.0 && ell >= 2.0, "optimal_alpha: need k >= 1 and ell >= 2");
     const double alpha = 3.0 - std::log(k) / std::log(ell);
     return std::clamp(alpha, 2.0, 3.0);
 }
 
 double optimal_alpha_adjusted(double k, double ell) {
-    if (!(k >= 1.0) || !(ell >= 2.0)) {
-        throw std::invalid_argument("optimal_alpha_adjusted: need k >= 1 and ell >= 2");
-    }
+    LEVY_PRECONDITION(k >= 1.0 && ell >= 2.0, "optimal_alpha_adjusted: need k >= 1 and ell >= 2");
     const double log_ell = std::log(ell);
     const double correction = 5.0 * std::log(std::max(log_ell, 1.0)) / log_ell;
     const double alpha = 3.0 - std::log(k) / log_ell + correction;

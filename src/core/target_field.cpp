@@ -1,17 +1,15 @@
 #include "src/core/target_field.h"
 
 #include <cmath>
-#include <stdexcept>
 
+#include "src/core/contracts.h"
 #include "src/rng/splitmix64.h"
 
 namespace levy {
 
 random_target_field::random_target_field(double density, std::uint64_t seed)
     : density_(density), seed_(seed) {
-    if (!(density > 0.0) || !(density < 1.0)) {
-        throw std::invalid_argument("random_target_field: density must be in (0, 1)");
-    }
+    LEVY_PRECONDITION(density > 0.0 && density < 1.0, "random_target_field: density must be in (0, 1)");
     // hash is uniform on [0, 2^64); the site is a target iff hash < d·2^64.
     threshold_ = static_cast<std::uint64_t>(
         density * 18446744073709551616.0 /* 2^64 */);

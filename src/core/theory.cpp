@@ -1,13 +1,14 @@
 #include "src/core/theory.h"
 
 #include <cmath>
-#include <stdexcept>
+
+#include "src/core/contracts.h"
 
 namespace levy::theory {
 namespace {
 
 double require_ell(double ell) {
-    if (!(ell >= 2.0)) throw std::invalid_argument("theory: need ell >= 2");
+    LEVY_PRECONDITION(ell >= 2.0, "theory: need ell >= 2");
     return std::log(ell);
 }
 
@@ -55,19 +56,19 @@ double ballistic_eventual_hit_prob(double ell) {
 
 double optimal_parallel_budget(double k, double ell) {
     const double log_ell = require_ell(ell);
-    if (!(k >= 1.0)) throw std::invalid_argument("theory: need k >= 1");
+    LEVY_PRECONDITION(k >= 1.0, "theory: need k >= 1");
     return (ell * ell / k) * std::pow(log_ell, 6.0) + ell;
 }
 
 double random_strategy_budget(double k, double ell) {
     const double log_ell = require_ell(ell);
-    if (!(k >= 1.0)) throw std::invalid_argument("theory: need k >= 1");
+    LEVY_PRECONDITION(k >= 1.0, "theory: need k >= 1");
     return (ell * ell / k) * std::pow(log_ell, 7.0) + ell * std::pow(log_ell, 3.0);
 }
 
 double universal_lower_bound(double k, double ell) {
     require_ell(ell);
-    if (!(k >= 1.0)) throw std::invalid_argument("theory: need k >= 1");
+    LEVY_PRECONDITION(k >= 1.0, "theory: need k >= 1");
     return ell * ell / k + ell;
 }
 

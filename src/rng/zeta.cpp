@@ -1,7 +1,8 @@
 #include "src/rng/zeta.h"
 
 #include <cmath>
-#include <stdexcept>
+
+#include "src/core/contracts.h"
 
 namespace levy {
 namespace {
@@ -18,6 +19,7 @@ double euler_maclaurin_tail(double n, double s) {
     // absolute tail, but harmonic() only ever uses *differences* of tails
     // there, for which its limit -ln(N) (dropping the constant 1/(s-1),
     // which cancels in differences) gives the correct value.
+    // levylint:allow(float-equality) exact special case: s = 1 selects the log limit
     const double integral_term = (s == 1.0) ? -std::log(n) : npow * n / (s - 1.0);
     double tail = integral_term + npow / 2.0;
     double deriv = s * npow * inv;                 // s·N^{-s-1}
@@ -30,7 +32,7 @@ double euler_maclaurin_tail(double n, double s) {
 }
 
 void require_s(double s) {
-    if (!(s > 1.0)) throw std::invalid_argument("zeta: exponent must satisfy s > 1");
+    LEVY_PRECONDITION(s > 1.0, "zeta: exponent must satisfy s > 1");
 }
 
 // Cutoff below which we sum terms directly before switching to the

@@ -2,14 +2,14 @@
 
 #include <algorithm>
 #include <cmath>
-#include <stdexcept>
 
+#include "src/core/contracts.h"
 #include "src/rng/zeta.h"
 
 namespace levy {
 
 zipf_sampler::zipf_sampler(double alpha) : alpha_(alpha) {
-    if (!(alpha > 1.0)) throw std::invalid_argument("zipf_sampler: alpha must be > 1");
+    LEVY_PRECONDITION(alpha > 1.0, "zipf_sampler: alpha must be > 1");
     inv_alpha_minus_1_ = 1.0 / (alpha - 1.0);
     const double b = std::exp2(alpha - 1.0);
     b_minus_1_ = b - 1.0;
@@ -39,7 +39,7 @@ std::uint64_t zipf_sampler::operator()(rng& g) const {
 }
 
 std::uint64_t zipf_sampler::sample_capped(rng& g, std::uint64_t cap) const {
-    if (cap == 0) throw std::invalid_argument("zipf_sampler: cap must be >= 1");
+    LEVY_PRECONDITION(cap != 0, "zipf_sampler: cap must be >= 1");
     if (cap == 1) return 1;
     // Rejection is cheap when P(X <= cap) is large, but that probability is
     // ~ 1 - cap^{1-α}, which for small caps with α near 1 can be tiny — the
@@ -65,14 +65,13 @@ std::uint64_t zipf_sampler::sample_capped(rng& g, std::uint64_t cap) const {
             lo = mid + 1;
         }
     }
+    LEVY_ASSERT(lo >= 1 && lo <= cap, "zipf_sampler: inverse-CDF fallback out of range");
     return lo;
 }
 
 zipf_table_sampler::zipf_table_sampler(double alpha, std::uint64_t cap) {
-    if (!(alpha > 0.0)) throw std::invalid_argument("zipf_table_sampler: alpha must be > 0");
-    if (cap == 0 || cap > (1ULL << 28)) {
-        throw std::invalid_argument("zipf_table_sampler: cap must be in [1, 2^28]");
-    }
+    LEVY_PRECONDITION(alpha > 0.0, "zipf_table_sampler: alpha must be > 0");
+    LEVY_PRECONDITION(cap >= 1 && cap <= (1ULL << 28), "zipf_table_sampler: cap must be in [1, 2^28]");
     cdf_.resize(cap);
     double acc = 0.0;
     for (std::uint64_t k = 1; k <= cap; ++k) {

@@ -2,9 +2,9 @@
 
 #include <cstdint>
 #include <functional>
-#include <stdexcept>
 #include <vector>
 
+#include "src/core/contracts.h"
 #include "src/rng/rng_stream.h"
 #include "src/sim/thread_pool.h"
 #include "src/stats/proportion.h"
@@ -91,9 +91,7 @@ auto monte_carlo_collect(const mc_options& opts, F&& trial_fn)
 /// undefined on an empty sample).
 template <class F>
 stats::proportion estimate_probability(const mc_options& opts, F&& pred) {
-    if (opts.trials == 0) {
-        throw std::invalid_argument("estimate_probability: opts.trials must be >= 1");
-    }
+    LEVY_PRECONDITION(opts.trials >= 1, "estimate_probability: opts.trials must be >= 1");
     const auto outcomes = monte_carlo_collect(opts, [&](std::size_t i, rng& g) {
         return static_cast<int>(static_cast<bool>(pred(i, g)));
     });

@@ -9,6 +9,8 @@
 #include <thread>
 #include <vector>
 
+#include "src/core/contracts.h"
+
 namespace levy::sim {
 namespace {
 
@@ -118,6 +120,7 @@ pool_metrics thread_pool::run(std::size_t n, unsigned parallelism, std::size_t c
     if (n == 0) return metrics;
     parallelism = std::clamp(parallelism, 1u, kMaxWorkers);
     if (chunk == 0) chunk = auto_chunk(n, parallelism);
+    LEVY_ASSERT(chunk >= 1, "thread_pool: resolved chunk must be >= 1");
     metrics.chunk = chunk;
     const std::size_t chunks = (n + chunk - 1) / chunk;
     const unsigned workers =

@@ -1,16 +1,18 @@
 #include "src/stats/bootstrap.h"
 
 #include <algorithm>
-#include <stdexcept>
 #include <vector>
+
+#include "src/core/contracts.h"
 
 namespace levy::stats {
 
 bootstrap_interval bootstrap_ci(std::span<const double> xs,
                                 const std::function<double(std::span<const double>)>& statistic,
                                 rng& g, std::size_t resamples, double level) {
-    if (xs.empty()) throw std::invalid_argument("bootstrap_ci: empty sample");
-    if (!(level > 0.0 && level < 1.0)) throw std::invalid_argument("bootstrap_ci: bad level");
+    LEVY_PRECONDITION(!xs.empty(), "bootstrap_ci: empty sample");
+    LEVY_PRECONDITION(resamples >= 1, "bootstrap_ci: resamples must be >= 1");
+    LEVY_PRECONDITION(level > 0.0 && level < 1.0, "bootstrap_ci: bad level");
     bootstrap_interval out;
     out.point = statistic(xs);
     std::vector<double> resample(xs.size());

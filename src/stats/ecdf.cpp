@@ -2,12 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
-#include <stdexcept>
+
+#include "src/core/contracts.h"
 
 namespace levy::stats {
 
 ecdf::ecdf(std::span<const double> samples) : sorted_(samples.begin(), samples.end()) {
-    if (sorted_.empty()) throw std::invalid_argument("ecdf: empty sample");
+    LEVY_PRECONDITION(!sorted_.empty(), "ecdf: empty sample");
     std::sort(sorted_.begin(), sorted_.end());
 }
 
@@ -17,7 +18,7 @@ double ecdf::operator()(double x) const noexcept {
 }
 
 double ecdf::quantile(double q) const {
-    if (!(q > 0.0) || q > 1.0) throw std::invalid_argument("ecdf::quantile: q outside (0, 1]");
+    LEVY_PRECONDITION(q > 0.0 && q <= 1.0, "ecdf::quantile: q outside (0, 1]");
     const auto n = static_cast<double>(sorted_.size());
     const auto idx = static_cast<std::size_t>(std::ceil(q * n)) - 1;
     return sorted_[std::min(idx, sorted_.size() - 1)];

@@ -2,7 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
-#include <stdexcept>
+
+#include "src/core/contracts.h"
 
 namespace levy::stats {
 namespace {
@@ -10,8 +11,8 @@ namespace {
 /// Regularized upper incomplete gamma Q(a, x), by series (x < a+1) or
 /// continued fraction (x >= a+1) — Numerical-Recipes-style, ~1e-12 accuracy.
 double gamma_q(double a, double x) {
-    if (x < 0.0 || a <= 0.0) throw std::invalid_argument("gamma_q: bad arguments");
-    if (x == 0.0) return 1.0;
+    LEVY_PRECONDITION(x >= 0.0 && a > 0.0, "gamma_q: bad arguments");
+    if (x == 0.0) return 1.0;  // levylint:allow(float-equality) exact boundary of the domain
     const double gln = std::lgamma(a);
     if (x < a + 1.0) {
         // P(a,x) by series, return 1 - P.
@@ -61,7 +62,7 @@ double kolmogorov_tail(double x) {
 }  // namespace
 
 double ks_statistic(std::span<const double> a, std::span<const double> b) {
-    if (a.empty() || b.empty()) throw std::invalid_argument("ks_statistic: empty sample");
+    LEVY_PRECONDITION(!a.empty() && !b.empty(), "ks_statistic: empty sample");
     std::vector<double> sa(a.begin(), a.end()), sb(b.begin(), b.end());
     std::sort(sa.begin(), sa.end());
     std::sort(sb.begin(), sb.end());
@@ -88,20 +89,14 @@ double ks_p_value(std::span<const double> a, std::span<const double> b) {
 chi_square_result chi_square_test(std::span<const std::uint64_t> observed,
                                   std::span<const double> expected_probs,
                                   std::uint64_t total_count) {
-    if (observed.size() != expected_probs.size()) {
-        throw std::invalid_argument("chi_square_test: size mismatch");
-    }
-    if (observed.empty() || total_count == 0) {
-        throw std::invalid_argument("chi_square_test: empty input");
-    }
+    LEVY_PRECONDITION(observed.size() == expected_probs.size(), "chi_square_test: size mismatch");
+    LEVY_PRECONDITION(!observed.empty() && total_count != 0, "chi_square_test: empty input");
     double stat = 0.0;
     double prob_mass = 0.0;
     std::uint64_t counted = 0;
     for (std::size_t c = 0; c < observed.size(); ++c) {
         const double expected = expected_probs[c] * static_cast<double>(total_count);
-        if (expected <= 0.0) {
-            throw std::invalid_argument("chi_square_test: nonpositive expected cell");
-        }
+        LEVY_PRECONDITION(expected > 0.0, "chi_square_test: nonpositive expected cell");
         const double diff = static_cast<double>(observed[c]) - expected;
         stat += diff * diff / expected;
         prob_mass += expected_probs[c];
@@ -125,7 +120,7 @@ chi_square_result chi_square_test(std::span<const std::uint64_t> observed,
 }
 
 double chi_square_upper_tail(double x, std::size_t df) {
-    if (df == 0) throw std::invalid_argument("chi_square_upper_tail: df must be >= 1");
+    LEVY_PRECONDITION(df != 0, "chi_square_upper_tail: df must be >= 1");
     return gamma_q(static_cast<double>(df) / 2.0, x / 2.0);
 }
 

@@ -3,11 +3,13 @@
 #include <bit>
 #include <stdexcept>
 
+#include "src/core/contracts.h"
+
 namespace levy::stats {
 
 histogram::histogram(double lo, double hi, std::size_t bins) : lo_(lo) {
-    if (!(hi > lo)) throw std::invalid_argument("histogram: need hi > lo");
-    if (bins == 0) throw std::invalid_argument("histogram: need at least one bin");
+    LEVY_PRECONDITION(hi > lo, "histogram: need hi > lo");
+    LEVY_PRECONDITION(bins != 0, "histogram: need at least one bin");
     width_ = (hi - lo) / static_cast<double>(bins);
     counts_.assign(bins, 0);
 }

@@ -2,13 +2,15 @@
 
 #include <algorithm>
 #include <cmath>
-#include <stdexcept>
+
+#include "src/core/contracts.h"
 
 namespace levy::stats {
 
 proportion wilson_interval(std::uint64_t successes, std::uint64_t trials, double z) {
-    if (trials == 0) throw std::invalid_argument("wilson_interval: trials must be >= 1");
-    if (successes > trials) throw std::invalid_argument("wilson_interval: successes > trials");
+    LEVY_PRECONDITION(trials != 0, "wilson_interval: trials must be >= 1");
+    LEVY_PRECONDITION(successes <= trials, "wilson_interval: successes > trials");
+    LEVY_PRECONDITION(z > 0.0, "wilson_interval: z must be > 0");
     const double n = static_cast<double>(trials);
     const double p = static_cast<double>(successes) / n;
     const double z2 = z * z;

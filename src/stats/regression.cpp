@@ -1,15 +1,16 @@
 #include "src/stats/regression.h"
 
 #include <cmath>
-#include <stdexcept>
 #include <vector>
+
+#include "src/core/contracts.h"
 
 namespace levy::stats {
 
 linear_fit_result linear_fit(std::span<const double> xs, std::span<const double> ys) {
-    if (xs.size() != ys.size()) throw std::invalid_argument("linear_fit: size mismatch");
+    LEVY_PRECONDITION(xs.size() == ys.size(), "linear_fit: size mismatch");
     const auto n = static_cast<double>(xs.size());
-    if (xs.size() < 2) throw std::invalid_argument("linear_fit: need at least two points");
+    LEVY_PRECONDITION(xs.size() >= 2, "linear_fit: need at least two points");
     double sx = 0, sy = 0;
     for (std::size_t i = 0; i < xs.size(); ++i) {
         sx += xs[i];
@@ -23,16 +24,18 @@ linear_fit_result linear_fit(std::span<const double> xs, std::span<const double>
         sxy += dx * dy;
         syy += dy * dy;
     }
-    if (sxx == 0.0) throw std::invalid_argument("linear_fit: x values are all equal");
+    // levylint:allow(float-equality) sxx is exactly 0 iff every x is identical
+    LEVY_PRECONDITION(sxx != 0.0, "linear_fit: x values are all equal");
     linear_fit_result out;
     out.slope = sxy / sxx;
     out.intercept = my - out.slope * mx;
+    // levylint:allow(float-equality) syy is exactly 0 iff every y is identical
     out.r_squared = (syy == 0.0) ? 1.0 : (sxy * sxy) / (sxx * syy);
     return out;
 }
 
 linear_fit_result loglog_fit(std::span<const double> xs, std::span<const double> ys) {
-    if (xs.size() != ys.size()) throw std::invalid_argument("loglog_fit: size mismatch");
+    LEVY_PRECONDITION(xs.size() == ys.size(), "loglog_fit: size mismatch");
     std::vector<double> lx, ly;
     lx.reserve(xs.size());
     ly.reserve(ys.size());

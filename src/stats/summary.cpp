@@ -2,7 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
-#include <stdexcept>
+
+#include "src/core/contracts.h"
 
 namespace levy::stats {
 
@@ -58,13 +59,13 @@ double quantile(std::span<const double> xs, double q) {
 }
 
 std::vector<double> quantiles(std::span<const double> xs, std::span<const double> qs) {
-    if (xs.empty()) throw std::invalid_argument("quantile: empty sample");
+    LEVY_PRECONDITION(!xs.empty(), "quantile: empty sample");
     std::vector<double> sorted(xs.begin(), xs.end());
     std::sort(sorted.begin(), sorted.end());
     std::vector<double> out;
     out.reserve(qs.size());
     for (double q : qs) {
-        if (q < 0.0 || q > 1.0) throw std::invalid_argument("quantile: q outside [0, 1]");
+        LEVY_PRECONDITION(q >= 0.0 && q <= 1.0, "quantile: q outside [0, 1]");
         const double pos = q * static_cast<double>(sorted.size() - 1);
         const auto lo = static_cast<std::size_t>(pos);
         const std::size_t hi = std::min(lo + 1, sorted.size() - 1);

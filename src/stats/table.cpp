@@ -5,18 +5,17 @@
 #include <iomanip>
 #include <ostream>
 #include <sstream>
-#include <stdexcept>
+
+#include "src/core/contracts.h"
 
 namespace levy::stats {
 
 text_table::text_table(std::vector<std::string> header) : header_(std::move(header)) {
-    if (header_.empty()) throw std::invalid_argument("text_table: empty header");
+    LEVY_PRECONDITION(!(header_.empty()), "text_table: empty header");
 }
 
 void text_table::add_row(std::vector<std::string> cells) {
-    if (cells.size() != header_.size()) {
-        throw std::invalid_argument("text_table: row width does not match header");
-    }
+    LEVY_PRECONDITION(cells.size() == header_.size(), "text_table: row width does not match header");
     rows_.push_back({std::move(cells)});
 }
 

@@ -1,0 +1,33 @@
+// Compiled with LEVY_CONTRACTS=0 (see tests/CMakeLists.txt): verifies the
+// release form of the macros — no throw, no evaluation of the condition.
+#include "src/core/contracts.h"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+#if LEVY_CONTRACTS
+#error "contracts_off_test.cpp must be compiled with LEVY_CONTRACTS=0"
+#endif
+
+TEST(ContractsOff, FailingConditionsAreNoOps) {
+    EXPECT_NO_THROW(LEVY_PRECONDITION(false, "compiled out"));
+    EXPECT_NO_THROW(LEVY_ASSERT(1 == 2, "compiled out"));
+}
+
+TEST(ContractsOff, ConditionIsNotEvaluated) {
+    int calls = 0;
+    LEVY_PRECONDITION(++calls > 0, "unevaluated operand");
+    LEVY_ASSERT(++calls > 0, "unevaluated operand");
+    EXPECT_EQ(calls, 0);
+}
+
+TEST(ContractsOff, OperandsStillNameTheirVariables) {
+    // The compiled-out form must keep the condition's operands "used" so
+    // -Werror=unused-* stays quiet in release builds.
+    const int threshold = 3;
+    LEVY_PRECONDITION(threshold > 0, "threshold referenced only here");
+    SUCCEED();
+}
+
+}  // namespace

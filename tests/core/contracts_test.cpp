@@ -1,0 +1,68 @@
+#include "src/core/contracts.h"
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/stats/regression.h"
+#include "src/stats/summary.h"
+
+namespace {
+
+#if !LEVY_CONTRACTS
+#error "contracts_test.cpp must be compiled with contracts enabled"
+#endif
+
+TEST(Contracts, PreconditionThrowsContractViolation) {
+    EXPECT_THROW(LEVY_PRECONDITION(1 + 1 == 3, "arithmetic is broken"),
+                 levy::contract_violation);
+}
+
+TEST(Contracts, AssertionThrowsContractViolation) {
+    EXPECT_THROW(LEVY_ASSERT(false, "always fires"), levy::contract_violation);
+}
+
+TEST(Contracts, PassingConditionIsSilent) {
+    EXPECT_NO_THROW(LEVY_PRECONDITION(true, "never fires"));
+    EXPECT_NO_THROW(LEVY_ASSERT(2 > 1, "never fires"));
+}
+
+TEST(Contracts, ViolationIsAnInvalidArgument) {
+    // Callers that predate the contract layer catch std::invalid_argument;
+    // the derivation keeps them working unchanged.
+    EXPECT_THROW(LEVY_PRECONDITION(false, "compat"), std::invalid_argument);
+}
+
+TEST(Contracts, ViolationCarriesMetadata) {
+    try {
+        LEVY_PRECONDITION(1 < 0, "message for the caller");
+        FAIL() << "precondition did not fire";
+    } catch (const levy::contract_violation& e) {
+        EXPECT_STREQ(e.kind(), "precondition");
+        EXPECT_STREQ(e.expression(), "1 < 0");
+        EXPECT_NE(std::string(e.file()).find("contracts_test.cpp"), std::string::npos);
+        EXPECT_GT(e.line(), 0);
+        EXPECT_NE(std::string(e.what()).find("message for the caller"),
+                  std::string::npos);
+        EXPECT_NE(std::string(e.what()).find("1 < 0"), std::string::npos);
+    }
+}
+
+TEST(Contracts, ConditionIsEvaluatedExactlyOnce) {
+    int calls = 0;
+    LEVY_PRECONDITION(++calls > 0, "side effect must run once");
+    EXPECT_EQ(calls, 1);
+}
+
+TEST(Contracts, LibraryEntryPointsFireThem) {
+    EXPECT_THROW(static_cast<void>(levy::stats::quantile(std::vector<double>{}, 0.5)),
+                 levy::contract_violation);
+    const std::vector<double> xs{1.0};
+    const std::vector<double> ys{1.0, 2.0};
+    EXPECT_THROW(static_cast<void>(levy::stats::linear_fit(xs, ys)),
+                 levy::contract_violation);
+}
+
+}  // namespace

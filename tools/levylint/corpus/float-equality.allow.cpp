@@ -1,0 +1,13 @@
+// Same comparisons, each annotated as an intentional exact check.
+bool sentinel_checks(double measured, float ratio, int count) {
+    const double expected = 0.25;
+    // levylint:allow(float-equality) sentinel: value stored untouched
+    bool ok = measured == expected;
+    ok &= measured != 1.0;  // levylint:allow(float-equality) sentinel
+    ok &= 0.5 == static_cast<double>(count);  // levylint:allow(float-equality) exact by construction
+    ok &= ratio == 0.1f;  // levylint:allow(float-equality) bit-compare against stored constant
+    // levylint:allow(float-equality) product of exact powers of two
+    ok &= (measured * 2.0) == 3.5;
+    ok &= measured == -1.0;  // levylint:allow(float-equality) sentinel value
+    return ok;
+}

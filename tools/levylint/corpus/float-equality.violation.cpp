@@ -1,0 +1,11 @@
+// Seeded violations: exact floating-point equality, every operand shape.
+bool exactness_theater(double measured, float ratio, int count) {
+    const double expected = 0.25;
+    bool bad = measured == expected;       // tracked double vs tracked double
+    bad |= measured != 1.0;                // tracked double vs literal
+    bad |= 0.5 == static_cast<double>(count);  // literal on the left
+    bad |= ratio == 0.1f;                  // float literal
+    bad |= (measured * 2.0) == 3.5;        // parenthesized left operand
+    bad |= measured == -1.0;               // signed literal
+    return bad;
+}

@@ -1,0 +1,7 @@
+// levylint:allow(header-guard) third-party vendored header, guard kept as-is
+#ifndef LEVYLINT_CORPUS_HEADER_GUARD_ALLOW_H
+#define LEVYLINT_CORPUS_HEADER_GUARD_ALLOW_H
+
+int the_nineties_called_again();
+
+#endif

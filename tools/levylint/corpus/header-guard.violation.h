@@ -1,0 +1,7 @@
+// A header without #pragma once (classic guards are also rejected).
+#ifndef LEVYLINT_CORPUS_HEADER_GUARD_VIOLATION_H
+#define LEVYLINT_CORPUS_HEADER_GUARD_VIOLATION_H
+
+int the_nineties_called();
+
+#endif

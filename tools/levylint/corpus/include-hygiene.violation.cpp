@@ -1,0 +1,9 @@
+// Seeded violations: every include-hygiene failure mode.
+#include "../sneaky/escape.h"
+#include "grid/point.h"
+#include "src/grid/point.h"
+#include "src/grid/point.h"
+#include <vector>
+#include <vector>
+
+int main() { return 0; }

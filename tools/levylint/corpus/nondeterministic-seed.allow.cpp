@@ -1,0 +1,13 @@
+// Same seeded violations, every one carrying a justification comment.
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+int entropy_soup() {
+    std::random_device rd;  // levylint:allow(nondeterministic-seed) fixture: suppression coverage
+    srand(time(NULL));      // levylint:allow(nondeterministic-seed) both hits share this line
+    // levylint:allow(nondeterministic-seed) preceding-line form
+    srand(static_cast<unsigned>(time(nullptr)));
+    int x = rand();  // levylint:allow(nondeterministic-seed)
+    return x + static_cast<int>(rd());
+}

@@ -1,0 +1,12 @@
+// Seeded violations: every flavor of nondeterministic seeding the rule bans.
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+int entropy_soup() {
+    std::random_device rd;            // hardware entropy: unreplayable
+    srand(time(NULL));                // wall-clock seed + global state
+    srand(static_cast<unsigned>(time(nullptr)));
+    int x = rand();                   // unseeded global stream
+    return x + static_cast<int>(rd());
+}

@@ -1,0 +1,18 @@
+// Same raw-threading violations, each suppressed with a justification.
+#include <future>
+// levylint:allow(raw-thread) fixture exercises the include form
+#include <omp.h>
+#include <thread>
+
+void spawn_chaos() {
+    std::thread t([] {});  // levylint:allow(raw-thread) fixture: suppression coverage
+    auto f = std::async([] { return 1; });  // levylint:allow(raw-thread)
+    // levylint:allow(raw-thread) preceding-line form
+    std::jthread j([] {});
+#pragma omp parallel for  // levylint:allow(raw-thread)
+    for (int i = 0; i < 4; ++i) {
+    }
+    t.join();
+    j.join();
+    (void)f.get();
+}

@@ -1,0 +1,21 @@
+// Seeded violations: raw threading primitives outside the worker pool.
+#include <future>
+#include <omp.h>
+#include <thread>
+
+void spawn_chaos() {
+    std::thread t([] {});            // raw thread: schedule-dependent results
+    auto f = std::async([] { return 1; });
+    std::jthread j([] {});
+#pragma omp parallel for
+    for (int i = 0; i < 4; ++i) {
+    }
+    t.join();
+    j.join();
+    (void)f.get();
+}
+
+unsigned fine_to_query() {
+    // The exception: querying concurrency spawns nothing.
+    return std::thread::hardware_concurrency();
+}

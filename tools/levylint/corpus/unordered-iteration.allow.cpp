@@ -1,0 +1,27 @@
+// Same iterations, each justified as an order-insensitive fold.
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+
+std::unordered_map<int, std::uint64_t> make_census();
+
+std::uint64_t commutative_folds() {
+    std::unordered_map<int, std::uint64_t> census;
+    std::unordered_set<int> visited;
+    std::uint64_t total = 0;
+    // levylint:allow(unordered-iteration) integer sum, order-insensitive
+    for (const auto& kv : census) {
+        total += kv.second;
+    }
+    for (int v : visited) {  // levylint:allow(unordered-iteration) integer sum
+        total += static_cast<std::uint64_t>(v);
+    }
+    // levylint:allow(unordered-iteration) counting loop, order-insensitive
+    for (auto it = census.begin(); it != census.end(); ++it) {
+        ++total;
+    }
+    for (const auto& kv : make_census()) {  // levylint:allow(unordered-iteration) integer sum
+        total += kv.second;
+    }
+    return total;
+}

@@ -1,0 +1,282 @@
+// levylint — the repo's determinism linter.
+//
+// A from-scratch, stdlib-only lint pass enforcing the invariants that keep
+// Monte-Carlo results a pure function of (seed, trial index). See rules.cpp
+// for the rule set and `levylint --explain <rule>` for the rationale behind
+// each one.
+//
+// Usage:
+//   levylint [--root DIR] [paths...]     lint files/dirs (default roots:
+//                                        src include bench tools examples)
+//   levylint --list-rules                one-line summary per rule
+//   levylint --explain RULE              full rationale + how to fix
+//   levylint --self-test DIR             run the seeded-violation corpus
+//   levylint --ignore-suppressions       report even allow-annotated lines
+//
+// Exit status: 0 clean, 1 findings (or failed self-test), 2 usage/IO error.
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "tools/levylint/lexer.h"
+#include "tools/levylint/rules.h"
+
+namespace fs = std::filesystem;
+using namespace levylint;
+
+namespace {
+
+bool lintable(const fs::path& p) {
+    const std::string ext = p.extension().string();
+    return ext == ".h" || ext == ".hpp" || ext == ".cpp" || ext == ".cc";
+}
+
+/// Corpus fixtures and build trees hold deliberate violations / generated
+/// code; never lint them in a tree scan.
+bool skip_dir(const fs::path& p) {
+    const std::string name = p.filename().string();
+    return name == "corpus" || name.rfind("build", 0) == 0 || (!name.empty() && name[0] == '.');
+}
+
+std::vector<fs::path> discover(const fs::path& root, const std::vector<std::string>& args) {
+    std::vector<fs::path> files;
+    auto add_tree = [&](const fs::path& top) {
+        if (!fs::exists(top)) return;
+        if (fs::is_regular_file(top)) {
+            if (lintable(top)) files.push_back(top);
+            return;
+        }
+        fs::recursive_directory_iterator it(top), end;
+        for (; it != end; ++it) {
+            if (it->is_directory() && skip_dir(it->path())) {
+                it.disable_recursion_pending();
+                continue;
+            }
+            if (it->is_regular_file() && lintable(it->path())) files.push_back(it->path());
+        }
+    };
+    if (args.empty()) {
+        for (const char* d : {"src", "include", "bench", "tools", "examples"}) {
+            add_tree(root / d);
+        }
+    } else {
+        for (const std::string& a : args) add_tree(root / a);
+    }
+    std::sort(files.begin(), files.end());
+    return files;
+}
+
+bool read_file(const fs::path& p, std::string& out) {
+    std::ifstream in(p, std::ios::binary);
+    if (!in) return false;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    out = ss.str();
+    return true;
+}
+
+std::string rel_to(const fs::path& root, const fs::path& p) {
+    std::error_code ec;
+    const fs::path rel = fs::relative(p, root, ec);
+    return (ec ? p : rel).generic_string();
+}
+
+void print_findings(const std::vector<finding>& fs_) {
+    for (const finding& f : fs_) {
+        std::cout << f.path << ":" << f.line << ": [" << f.rule << "] " << f.message << "\n";
+    }
+}
+
+int lint_tree(const fs::path& root, const std::vector<std::string>& paths,
+              bool ignore_suppressions) {
+    const std::vector<fs::path> files = discover(root, paths);
+    if (files.empty()) {
+        std::cerr << "levylint: no lintable files under the given paths\n";
+        return 2;
+    }
+    // Pass 1: lex everything, collect cross-file symbols (functions that
+    // return unordered containers).
+    std::vector<std::pair<std::string, lexed_file>> lexed;
+    lexed.reserve(files.size());
+    project_symbols proj;
+    for (const fs::path& f : files) {
+        std::string src;
+        if (!read_file(f, src)) {
+            std::cerr << "levylint: cannot read " << f << "\n";
+            return 2;
+        }
+        lexed.emplace_back(rel_to(root, f), lex(src));
+        collect_symbols(lexed.back().second, proj);
+    }
+    // Pass 2: rules.
+    std::vector<finding> all;
+    for (const auto& [path, lf] : lexed) {
+        std::vector<finding> fs_ = analyze(path, lf, proj, ignore_suppressions);
+        all.insert(all.end(), std::make_move_iterator(fs_.begin()),
+                   std::make_move_iterator(fs_.end()));
+    }
+    print_findings(all);
+    if (!all.empty()) {
+        std::map<std::string, int> per_rule;
+        for (const finding& f : all) ++per_rule[f.rule];
+        std::cout << "\nlevylint: " << all.size() << " finding(s) in " << files.size()
+                  << " file(s):";
+        for (const auto& [rule, n] : per_rule) std::cout << " " << rule << "=" << n;
+        std::cout << "\nrun `levylint --explain <rule>` for the rationale and how to fix.\n";
+        return 1;
+    }
+    std::cout << "levylint: clean (" << files.size() << " files, " << rules().size()
+              << " rules)\n";
+    return 0;
+}
+
+// --- self-test -------------------------------------------------------------
+
+/// The corpus directory holds, per rule, `<rule>.violation.{cpp,h}` (must
+/// produce >= 1 finding of exactly that rule) and `<rule>.allow.{cpp,h}`
+/// (same seeded violations, each carrying a levylint:allow — must produce 0
+/// findings, but >= 1 when suppressions are ignored, proving the fixture
+/// genuinely violates and the suppression genuinely covers it).
+int self_test(const fs::path& corpus) {
+    if (!fs::is_directory(corpus)) {
+        std::cerr << "levylint: corpus directory not found: " << corpus << "\n";
+        return 2;
+    }
+    int failures = 0;
+    auto fail = [&](const std::string& what) {
+        std::cout << "FAIL  " << what << "\n";
+        ++failures;
+    };
+
+    auto find_fixture = [&](const std::string& rule, const char* flavor) -> fs::path {
+        for (const char* ext : {".cpp", ".h", ".cc", ".hpp"}) {
+            const fs::path p = corpus / (rule + "." + flavor + ext);
+            if (fs::exists(p)) return p;
+        }
+        return {};
+    };
+
+    for (const rule_info& r : rules()) {
+        const fs::path violation = find_fixture(r.id, "violation");
+        const fs::path allowed = find_fixture(r.id, "allow");
+        if (violation.empty()) {
+            fail(r.id + ": missing violation fixture");
+            continue;
+        }
+        if (allowed.empty()) {
+            fail(r.id + ": missing allow fixture");
+            continue;
+        }
+        project_symbols proj;  // corpus files are self-contained
+        for (const fs::path& p : {violation, allowed}) {
+            std::string src;
+            if (!read_file(p, src)) {
+                fail(r.id + ": cannot read " + p.string());
+                continue;
+            }
+            const lexed_file lf = lex(src);
+            project_symbols local = proj;
+            collect_symbols(lf, local);
+            const std::string rel = "corpus/" + p.filename().string();
+            const auto fired = analyze(rel, lf, local);
+            const auto unsuppressed = analyze(rel, lf, local, /*ignore_suppressions=*/true);
+            const auto count_rule = [&](const std::vector<finding>& fs_) {
+                return std::count_if(fs_.begin(), fs_.end(),
+                                     [&](const finding& f) { return f.rule == r.id; });
+            };
+            const bool is_allow_fixture = p == allowed;
+            if (!is_allow_fixture) {
+                if (count_rule(fired) == 0) {
+                    fail(r.id + ": violation fixture produced no " + r.id + " finding");
+                } else if (static_cast<std::size_t>(count_rule(fired)) != fired.size()) {
+                    fail(r.id + ": violation fixture trips other rules too — keep fixtures "
+                                "single-rule");
+                    print_findings(fired);
+                } else {
+                    std::cout << "ok    " << r.id << ": violation fires (" << count_rule(fired)
+                              << " finding(s))\n";
+                }
+            } else {
+                if (!fired.empty()) {
+                    fail(r.id + ": allow fixture still produced findings");
+                    print_findings(fired);
+                } else if (count_rule(unsuppressed) == 0) {
+                    fail(r.id + ": allow fixture does not actually violate " + r.id +
+                         " (suppression proves nothing)");
+                } else {
+                    std::cout << "ok    " << r.id << ": suppression covers "
+                              << count_rule(unsuppressed) << " seeded finding(s)\n";
+                }
+            }
+        }
+    }
+    if (failures != 0) {
+        std::cout << "levylint --self-test: " << failures << " failure(s)\n";
+        return 1;
+    }
+    std::cout << "levylint --self-test: all " << rules().size() << " rules verified\n";
+    return 0;
+}
+
+void list_rules() {
+    for (const rule_info& r : rules()) {
+        std::cout << r.id << "\n    " << r.summary << "\n";
+    }
+}
+
+int explain(const std::string& id) {
+    for (const rule_info& r : rules()) {
+        if (r.id != id) continue;
+        std::cout << r.id << " — " << r.summary << "\n\n" << r.explanation;
+        std::cout << "\nSuppress a justified line with  // levylint:allow(" << r.id << ")\n";
+        return 0;
+    }
+    std::cerr << "levylint: unknown rule '" << id << "' (try --list-rules)\n";
+    return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    fs::path root = fs::current_path();
+    std::vector<std::string> paths;
+    bool ignore_suppressions = false;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> const char* {
+            if (i + 1 >= argc) {
+                std::cerr << "levylint: " << arg << " needs a value\n";
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--root") {
+            root = next();
+        } else if (arg == "--list-rules") {
+            list_rules();
+            return 0;
+        } else if (arg == "--explain") {
+            return explain(next());
+        } else if (arg == "--self-test") {
+            return self_test(next());
+        } else if (arg == "--ignore-suppressions") {
+            ignore_suppressions = true;
+        } else if (arg == "--help" || arg == "-h") {
+            std::cout << "usage: levylint [--root DIR] [--ignore-suppressions] [paths...]\n"
+                         "       levylint --list-rules | --explain RULE | --self-test DIR\n";
+            return 0;
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::cerr << "levylint: unknown option " << arg << "\n";
+            return 2;
+        } else {
+            paths.push_back(arg);
+        }
+    }
+    return lint_tree(root, paths, ignore_suppressions);
+}

@@ -1,0 +1,276 @@
+#include "tools/levylint/lexer.h"
+
+#include <cctype>
+#include <cstddef>
+
+namespace levylint {
+namespace {
+
+bool ident_start(char c) { return std::isalpha(static_cast<unsigned char>(c)) || c == '_'; }
+bool ident_char(char c) { return std::isalnum(static_cast<unsigned char>(c)) || c == '_'; }
+bool digit(char c) { return std::isdigit(static_cast<unsigned char>(c)); }
+
+/// Multi-character punctuators, longest first so greedy matching works.
+constexpr const char* kPuncts[] = {
+    "<<=", ">>=", "<=>", "...", "->*", "::", "->", "==", "!=", "<=", ">=",
+    "&&",  "||",  "<<",  ">>",  "++",  "--", "+=", "-=", "*=", "/=", "%=",
+    "&=",  "|=",  "^=",  "##",
+};
+
+class lexer {
+public:
+    explicit lexer(const std::string& src) : src_(src) {}
+
+    lexed_file run() {
+        while (pos_ < src_.size()) {
+            const char c = src_[pos_];
+            if (c == '\n') {
+                ++line_;
+                at_line_start_ = true;
+                ++pos_;
+                continue;
+            }
+            if (c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f') {
+                ++pos_;
+                continue;
+            }
+            if (c == '/' && peek(1) == '/') {
+                line_comment();
+                continue;
+            }
+            if (c == '/' && peek(1) == '*') {
+                block_comment();
+                continue;
+            }
+            if (c == '#' && at_line_start_) {
+                preprocessor();
+                continue;
+            }
+            at_line_start_ = false;
+            if (ident_start(c)) {
+                identifier();
+                continue;
+            }
+            if (digit(c) || (c == '.' && digit(peek(1)))) {
+                number();
+                continue;
+            }
+            if (c == '"') {
+                string_literal();
+                continue;
+            }
+            if (c == '\'') {
+                char_literal();
+                continue;
+            }
+            punct();
+        }
+        return std::move(out_);
+    }
+
+private:
+    char peek(std::size_t ahead) const {
+        return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+    }
+
+    bool only_whitespace_before_on_line() const {
+        std::size_t i = pos_;
+        while (i > 0 && src_[i - 1] != '\n') {
+            const char c = src_[i - 1];
+            if (c != ' ' && c != '\t' && c != '\r') return false;
+            --i;
+        }
+        return true;
+    }
+
+    void line_comment() {
+        comment cm;
+        cm.line = cm.end_line = line_;
+        cm.own_line = only_whitespace_before_on_line();
+        pos_ += 2;
+        while (pos_ < src_.size() && src_[pos_] != '\n') cm.text += src_[pos_++];
+        out_.comments.push_back(std::move(cm));
+    }
+
+    void block_comment() {
+        comment cm;
+        cm.line = line_;
+        cm.own_line = only_whitespace_before_on_line();
+        pos_ += 2;
+        while (pos_ < src_.size() && !(src_[pos_] == '*' && peek(1) == '/')) {
+            if (src_[pos_] == '\n') ++line_;
+            cm.text += src_[pos_++];
+        }
+        if (pos_ < src_.size()) pos_ += 2;
+        cm.end_line = line_;
+        out_.comments.push_back(std::move(cm));
+    }
+
+    void preprocessor() {
+        directive d;
+        d.line = line_;
+        while (pos_ < src_.size()) {
+            const char c = src_[pos_];
+            if (c == '\\' && peek(1) == '\n') {  // logical-line continuation
+                d.text += ' ';
+                pos_ += 2;
+                ++line_;
+                continue;
+            }
+            if (c == '\n') break;
+            if (c == '/' && peek(1) == '/') {
+                line_comment();  // keep trailing comments visible for suppressions
+                break;
+            }
+            d.text += c;
+            ++pos_;
+        }
+        while (!d.text.empty() && (d.text.back() == ' ' || d.text.back() == '\t' ||
+                                   d.text.back() == '\r')) {
+            d.text.pop_back();
+        }
+        out_.directives.push_back(std::move(d));
+    }
+
+    void identifier() {
+        token t;
+        t.kind = tok::identifier;
+        t.line = line_;
+        while (pos_ < src_.size() && ident_char(src_[pos_])) t.text += src_[pos_++];
+        // String-literal prefixes: an identifier immediately followed by a
+        // quote is a prefix (R, u8, LR, ...), not a real identifier.
+        if (pos_ < src_.size() && src_[pos_] == '"') {
+            if (t.text.size() <= 3 && t.text.find('R') != std::string::npos) {
+                raw_string();
+                return;
+            }
+            if (t.text == "u8" || t.text == "u" || t.text == "U" || t.text == "L") {
+                string_literal();
+                return;
+            }
+        }
+        out_.tokens.push_back(std::move(t));
+    }
+
+    void number() {
+        token t;
+        t.kind = tok::number;
+        t.line = line_;
+        const bool hex = src_[pos_] == '0' && (peek(1) == 'x' || peek(1) == 'X');
+        while (pos_ < src_.size()) {
+            const char c = src_[pos_];
+            if (c == '\'' && digit(peek(1))) {  // digit separator 1'000'000
+                ++pos_;
+                continue;
+            }
+            if (c == '.') {
+                t.is_float = true;
+                t.text += c;
+                ++pos_;
+                continue;
+            }
+            const bool dec_exp = !hex && (c == 'e' || c == 'E');
+            const bool hex_exp = hex && (c == 'p' || c == 'P');
+            if ((dec_exp && (peek(1) == '+' || peek(1) == '-' || digit(peek(1)))) || hex_exp) {
+                t.is_float = true;
+                t.text += c;
+                ++pos_;
+                if (pos_ < src_.size() && (src_[pos_] == '+' || src_[pos_] == '-')) {
+                    t.text += src_[pos_++];
+                }
+                continue;
+            }
+            if (ident_char(c)) {
+                t.text += c;
+                ++pos_;
+                continue;
+            }
+            break;
+        }
+        out_.tokens.push_back(std::move(t));
+    }
+
+    void string_literal() {
+        token t;
+        t.kind = tok::string;
+        t.line = line_;
+        ++pos_;  // opening quote
+        while (pos_ < src_.size() && src_[pos_] != '"') {
+            if (src_[pos_] == '\\' && pos_ + 1 < src_.size()) {
+                t.text += src_[pos_];
+                t.text += src_[pos_ + 1];
+                pos_ += 2;
+                continue;
+            }
+            if (src_[pos_] == '\n') ++line_;  // unterminated; keep line count right
+            t.text += src_[pos_++];
+        }
+        if (pos_ < src_.size()) ++pos_;  // closing quote
+        out_.tokens.push_back(std::move(t));
+    }
+
+    void raw_string() {
+        token t;
+        t.kind = tok::string;
+        t.line = line_;
+        ++pos_;  // opening quote
+        std::string delim;
+        while (pos_ < src_.size() && src_[pos_] != '(') delim += src_[pos_++];
+        if (pos_ < src_.size()) ++pos_;  // '('
+        const std::string closer = ")" + delim + "\"";
+        while (pos_ < src_.size() && src_.compare(pos_, closer.size(), closer) != 0) {
+            if (src_[pos_] == '\n') ++line_;
+            t.text += src_[pos_++];
+        }
+        if (pos_ < src_.size()) pos_ += closer.size();
+        out_.tokens.push_back(std::move(t));
+    }
+
+    void char_literal() {
+        token t;
+        t.kind = tok::character;
+        t.line = line_;
+        ++pos_;
+        while (pos_ < src_.size() && src_[pos_] != '\'') {
+            if (src_[pos_] == '\\' && pos_ + 1 < src_.size()) {
+                t.text += src_[pos_];
+                t.text += src_[pos_ + 1];
+                pos_ += 2;
+                continue;
+            }
+            if (src_[pos_] == '\n') break;  // stray quote, not a literal
+            t.text += src_[pos_++];
+        }
+        if (pos_ < src_.size() && src_[pos_] == '\'') ++pos_;
+        out_.tokens.push_back(std::move(t));
+    }
+
+    void punct() {
+        token t;
+        t.kind = tok::punct;
+        t.line = line_;
+        for (const char* p : kPuncts) {
+            const std::size_t len = std::char_traits<char>::length(p);
+            if (src_.compare(pos_, len, p) == 0) {
+                t.text = p;
+                pos_ += len;
+                out_.tokens.push_back(std::move(t));
+                return;
+            }
+        }
+        t.text = src_[pos_++];
+        out_.tokens.push_back(std::move(t));
+    }
+
+    const std::string& src_;
+    std::size_t pos_ = 0;
+    int line_ = 1;
+    bool at_line_start_ = true;
+    lexed_file out_;
+};
+
+}  // namespace
+
+lexed_file lex(const std::string& source) { return lexer(source).run(); }
+
+}  // namespace levylint

@@ -1,0 +1,58 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+// A small C++ lexer, just deep enough for lint rules: it separates code
+// tokens from comments, strings, and preprocessor directives so rules can
+// match token *sequences* instead of grepping raw text (no false hits
+// inside string literals or documentation).
+//
+// Deliberately not a full C++ front end: no keyword table, no preprocessor
+// evaluation, no template parsing. Rules that need structure (angle-bracket
+// matching, range-for detection) do their own bounded scans over the token
+// stream.
+
+namespace levylint {
+
+enum class tok {
+    identifier,  ///< identifiers and keywords alike
+    number,      ///< integer or floating literal (see token::is_float)
+    string,      ///< string literal, text is the *contents* (quotes stripped)
+    character,   ///< character literal
+    punct,       ///< operator / punctuator, longest-match (e.g. "==", "::")
+};
+
+struct token {
+    tok kind = tok::punct;
+    std::string text;
+    int line = 1;
+    bool is_float = false;  ///< for tok::number: has '.', or a decimal exponent
+};
+
+struct comment {
+    int line = 1;        ///< line the comment starts on
+    int end_line = 1;    ///< last line it touches (same as line for //)
+    std::string text;    ///< contents, delimiters stripped
+    bool own_line = false;  ///< nothing but whitespace precedes it on its line
+};
+
+/// One logical preprocessor directive (backslash continuations joined,
+/// trailing // comment split off into the comment list).
+struct directive {
+    int line = 1;
+    std::string text;  ///< e.g. "#include \"src/grid/point.h\"", "#pragma once"
+};
+
+struct lexed_file {
+    std::vector<token> tokens;
+    std::vector<comment> comments;
+    std::vector<directive> directives;
+};
+
+/// Tokenize `source`. Never fails: bytes it cannot classify become
+/// single-character punct tokens, which at worst makes a rule miss — the
+/// right failure mode for a linter.
+[[nodiscard]] lexed_file lex(const std::string& source);
+
+}  // namespace levylint

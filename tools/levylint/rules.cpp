@@ -1,0 +1,610 @@
+#include "tools/levylint/rules.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <map>
+#include <sstream>
+
+namespace levylint {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Registry
+
+const std::vector<rule_info>& registry() {
+    static const std::vector<rule_info> r = {
+        {"nondeterministic-seed",
+         "nondeterministic seeding (std::random_device, time(NULL), rand/srand) outside src/rng/",
+         "Every trial's randomness must derive purely from (seed, trial index) so that\n"
+         "Monte-Carlo results replay bit-identically for any thread count and chunk\n"
+         "size. std::random_device, time(NULL)/time(nullptr)/time(0), and the C\n"
+         "rand()/srand() pair all pull entropy from outside that derivation and\n"
+         "silently break reproducibility.\n"
+         "\n"
+         "Fix: take an explicit seed (benches expose --seed) and derive streams with\n"
+         "rng::seeded(seed).substream(index). Only src/rng/ — the substrate that\n"
+         "*implements* seeding — is exempt.\n"},
+        {"raw-thread",
+         "raw std::thread/std::async/OpenMP outside src/sim/thread_pool.*",
+         "All parallelism must route through sim::parallel_for, whose chunked dynamic\n"
+         "queue guarantees results independent of the schedule. Raw std::thread,\n"
+         "std::jthread, std::async, or OpenMP pragmas introduce their own work\n"
+         "partitioning, which is exactly how per-thread-count result drift starts\n"
+         "(and it bypasses the pool's exception capture and metrics).\n"
+         "\n"
+         "Fix: express the work as fn(i) for i in [0, n) and call\n"
+         "sim::parallel_for(n, threads, fn). Querying\n"
+         "std::thread::hardware_concurrency() is allowed — it spawns nothing.\n"},
+        {"unordered-iteration",
+         "iterating an unordered container (iteration order feeds results/output)",
+         "std::unordered_map/set iteration order depends on the hash implementation,\n"
+         "the insertion history, and the bucket count — none of which are part of the\n"
+         "(seed, trial index) contract. Iterating one to build output, accumulate\n"
+         "floating-point sums, or fill a vector makes CSVs differ across standard\n"
+         "libraries and even across runs.\n"
+         "\n"
+         "Fix: copy keys (or key/value pairs) into a vector and sort it before\n"
+         "iterating, or use std::map when the container is iterated at all. Unordered\n"
+         "lookups (find/contains/operator[]) are fine and are not flagged. A\n"
+         "provably order-insensitive fold (e.g. integer counter sums) may be\n"
+         "suppressed with levylint:allow(unordered-iteration).\n"},
+        {"float-equality",
+         "float/double ==/!= comparison without an explicit tolerance",
+         "Exact floating-point equality is almost always a latent bug: two\n"
+         "mathematically equal expressions need not be bit-equal once optimization,\n"
+         "FMA contraction, or summation order differ. In this repo such comparisons\n"
+         "also threaten paper-vs-measured validation, which relies on stable\n"
+         "statistics.\n"
+         "\n"
+         "Fix: compare with an explicit tolerance (std::abs(a - b) <= eps) or\n"
+         "restructure to integer arithmetic (the grid substrate is exact for a\n"
+         "reason). Intentional exact comparisons — sentinel values, comparisons\n"
+         "against a value stored untouched — carry\n"
+         "levylint:allow(float-equality) with a short justification.\n"},
+        {"include-hygiene",
+         "quoted includes must be repo-root-relative, unique, and free of '..'",
+         "Every quoted include in this repo is written relative to the repository\n"
+         "root (#include \"src/grid/point.h\"), so any file can be moved or read in\n"
+         "isolation and include paths never depend on the including file's location.\n"
+         "'..' segments and directory-relative paths break that, and duplicate\n"
+         "includes are dead weight that hides real dependencies.\n"
+         "\n"
+         "Fix: spell the path from the repo root (src/..., bench/..., tools/...,\n"
+         "include/..., examples/..., tests/...); delete duplicate includes.\n"},
+        {"header-guard",
+         "headers must open with #pragma once",
+         "Repo convention: every header's first directive is #pragma once —\n"
+         "before any other directive or declaration. Classic #ifndef guards are\n"
+         "rejected too (one convention, zero guard-name collisions).\n"
+         "\n"
+         "Fix: put #pragma once on the first non-comment line of the header.\n"},
+    };
+    return r;
+}
+
+// ---------------------------------------------------------------------------
+// Small token-stream helpers
+
+using tokens_t = std::vector<token>;
+
+bool is_ident(const token& t, const char* text) {
+    return t.kind == tok::identifier && t.text == text;
+}
+
+bool is_punct(const token& t, const char* text) {
+    return t.kind == tok::punct && t.text == text;
+}
+
+const token* at(const tokens_t& ts, std::size_t i) { return i < ts.size() ? &ts[i] : nullptr; }
+
+bool starts_with(const std::string& s, const std::string& prefix) {
+    return s.rfind(prefix, 0) == 0;
+}
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+    return s.size() >= suffix.size() && s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+/// Split a directive into whitespace-separated words, '#' stripped (handles
+/// both "#pragma" and "# pragma").
+std::vector<std::string> directive_words(const directive& d) {
+    std::string body = d.text;
+    const std::size_t hash = body.find('#');
+    if (hash != std::string::npos) body = body.substr(hash + 1);
+    std::vector<std::string> words;
+    std::istringstream in(body);
+    std::string w;
+    while (in >> w) words.push_back(w);
+    return words;
+}
+
+/// For `#include` directives: the include target, with <> or "" retained as
+/// the first character ('<' or '"'); empty for non-include directives.
+std::string include_target(const directive& d) {
+    const auto words = directive_words(d);
+    if (words.empty() || words[0] != "include") return {};
+    std::string rest;
+    for (std::size_t i = 1; i < words.size(); ++i) rest += words[i];
+    if (rest.empty()) return {};
+    if (rest[0] == '"') {
+        const std::size_t close = rest.find('"', 1);
+        return close == std::string::npos ? rest : rest.substr(0, close + 1);
+    }
+    if (rest[0] == '<') {
+        const std::size_t close = rest.find('>', 1);
+        return close == std::string::npos ? rest : rest.substr(0, close + 1);
+    }
+    return {};
+}
+
+/// Index just past a balanced <...> starting at `open` (which must point at
+/// "<"); ">>" closes two levels. Returns `open` when no balanced close is
+/// found within `limit` tokens (template-vs-comparison ambiguity: bail out).
+std::size_t match_angles(const tokens_t& ts, std::size_t open, std::size_t limit = 128) {
+    int depth = 0;
+    for (std::size_t i = open; i < ts.size() && i < open + limit; ++i) {
+        const token& t = ts[i];
+        if (t.kind != tok::punct) continue;
+        if (t.text == "<") ++depth;
+        if (t.text == ">") {
+            if (--depth == 0) return i + 1;
+        }
+        if (t.text == ">>") {
+            depth -= 2;
+            if (depth <= 0) return i + 1;
+        }
+        if (t.text == ";" || t.text == "{") break;  // not a template argument list
+    }
+    return open;
+}
+
+const char* kUnorderedNames[] = {"unordered_map", "unordered_set", "unordered_multimap",
+                                 "unordered_multiset"};
+
+bool is_unordered_name(const token& t) {
+    if (t.kind != tok::identifier) return false;
+    return std::any_of(std::begin(kUnorderedNames), std::end(kUnorderedNames),
+                       [&](const char* n) { return t.text == n; });
+}
+
+// ---------------------------------------------------------------------------
+// Suppressions
+
+/// line -> set of rule ids allowed on that line.
+using suppression_map = std::map<int, std::set<std::string>>;
+
+void parse_allow_list(const std::string& text, std::set<std::string>& out) {
+    const std::string marker = "levylint:allow(";
+    std::size_t from = 0;
+    while (true) {
+        const std::size_t pos = text.find(marker, from);
+        if (pos == std::string::npos) return;
+        const std::size_t close = text.find(')', pos + marker.size());
+        if (close == std::string::npos) return;
+        std::string inside = text.substr(pos + marker.size(), close - pos - marker.size());
+        std::replace(inside.begin(), inside.end(), ',', ' ');
+        std::istringstream in(inside);
+        std::string id;
+        while (in >> id) out.insert(id);
+        from = close + 1;
+    }
+}
+
+suppression_map build_suppressions(const lexed_file& lf) {
+    // Sorted list of lines that carry code (tokens or directives): an
+    // own-line comment's allowance applies to the next such line.
+    std::vector<int> code_lines;
+    for (const token& t : lf.tokens) code_lines.push_back(t.line);
+    for (const directive& d : lf.directives) code_lines.push_back(d.line);
+    std::sort(code_lines.begin(), code_lines.end());
+
+    suppression_map out;
+    for (const comment& c : lf.comments) {
+        std::set<std::string> allowed;
+        parse_allow_list(c.text, allowed);
+        if (allowed.empty()) continue;
+        int target = c.line;
+        if (c.own_line) {
+            const auto it = std::upper_bound(code_lines.begin(), code_lines.end(), c.end_line);
+            if (it == code_lines.end()) continue;
+            target = *it;
+        }
+        out[target].insert(allowed.begin(), allowed.end());
+    }
+    return out;
+}
+
+// ---------------------------------------------------------------------------
+// Per-rule checks
+
+class analysis {
+public:
+    analysis(const std::string& rel_path, const lexed_file& lf, const project_symbols& proj)
+        : path_(rel_path), lf_(lf), proj_(proj), ts_(lf.tokens) {}
+
+    std::vector<finding> run() {
+        check_nondeterministic_seed();
+        check_raw_thread();
+        collect_local_types();
+        check_unordered_iteration();
+        check_float_equality();
+        check_include_hygiene();
+        check_header_guard();
+        std::stable_sort(findings_.begin(), findings_.end(),
+                         [](const finding& a, const finding& b) { return a.line < b.line; });
+        return std::move(findings_);
+    }
+
+private:
+    void flag(int line, const char* rule, std::string message) {
+        findings_.push_back({path_, line, rule, std::move(message)});
+    }
+
+    // --- nondeterministic-seed ---------------------------------------------
+
+    void check_nondeterministic_seed() {
+        if (starts_with(path_, "src/rng/")) return;  // the seeding substrate itself
+        for (std::size_t i = 0; i < ts_.size(); ++i) {
+            const token& t = ts_[i];
+            if (t.kind != tok::identifier) continue;
+            const token* prev = i > 0 ? &ts_[i - 1] : nullptr;
+            const bool member = prev != nullptr && (prev->text == "." || prev->text == "->");
+            if (member) continue;
+            // foo::rand() is someone else's rand; std::rand() and plain
+            // rand() are the libc one.
+            const bool foreign_qualified =
+                prev != nullptr && is_punct(*prev, "::") && i >= 2 && !is_ident(ts_[i - 2], "std");
+            if (foreign_qualified) continue;
+
+            if (t.text == "random_device") {
+                flag(t.line, "nondeterministic-seed",
+                     "std::random_device draws entropy outside the (seed, trial) derivation; "
+                     "take an explicit seed and use rng::seeded(seed).substream(i)");
+            } else if ((t.text == "srand" || t.text == "rand") && at(ts_, i + 1) != nullptr &&
+                       is_punct(ts_[i + 1], "(")) {
+                flag(t.line, "nondeterministic-seed",
+                     t.text + "() is unseeded global-state randomness; route all draws "
+                              "through levy::rng streams");
+            } else if (t.text == "time" && at(ts_, i + 3) != nullptr && is_punct(ts_[i + 1], "(") &&
+                       is_punct(ts_[i + 3], ")") &&
+                       (is_ident(ts_[i + 2], "NULL") || is_ident(ts_[i + 2], "nullptr") ||
+                        (ts_[i + 2].kind == tok::number && ts_[i + 2].text == "0"))) {
+                flag(t.line, "nondeterministic-seed",
+                     "time(NULL)-style wall-clock seeding makes runs unreproducible; "
+                     "take an explicit seed instead");
+            }
+        }
+    }
+
+    // --- raw-thread --------------------------------------------------------
+
+    void check_raw_thread() {
+        if (path_ == "src/sim/thread_pool.h" || path_ == "src/sim/thread_pool.cpp") return;
+        for (std::size_t i = 0; i + 2 < ts_.size(); ++i) {
+            if (!is_ident(ts_[i], "std") || !is_punct(ts_[i + 1], "::")) continue;
+            const token& name = ts_[i + 2];
+            if (name.kind != tok::identifier) continue;
+            if (name.text == "thread") {
+                // std::thread::hardware_concurrency() spawns nothing.
+                if (at(ts_, i + 4) != nullptr && is_punct(ts_[i + 3], "::") &&
+                    is_ident(ts_[i + 4], "hardware_concurrency")) {
+                    continue;
+                }
+                flag(name.line, "raw-thread",
+                     "raw std::thread bypasses the deterministic worker pool; use "
+                     "sim::parallel_for (src/sim/thread_pool.*)");
+            } else if (name.text == "jthread" || name.text == "async") {
+                flag(name.line, "raw-thread",
+                     "std::" + name.text + " bypasses the deterministic worker pool; use "
+                                           "sim::parallel_for (src/sim/thread_pool.*)");
+            }
+        }
+        for (const directive& d : lf_.directives) {
+            const auto words = directive_words(d);
+            if (words.size() >= 2 && words[0] == "pragma" && words[1] == "omp") {
+                flag(d.line, "raw-thread",
+                     "OpenMP pragmas schedule work outside the deterministic pool; use "
+                     "sim::parallel_for");
+            }
+            if (include_target(d) == "<omp.h>") {
+                flag(d.line, "raw-thread", "OpenMP is off-limits; use sim::parallel_for");
+            }
+        }
+    }
+
+    // --- local type tracking (shared by unordered-iteration / float-equality)
+
+    void collect_local_types() {
+        for (std::size_t i = 0; i < ts_.size(); ++i) {
+            if (is_unordered_name(ts_[i]) && at(ts_, i + 1) != nullptr &&
+                is_punct(ts_[i + 1], "<")) {
+                const std::size_t past = match_angles(ts_, i + 1);
+                if (past == i + 1) continue;
+                const token* name = at(ts_, past);
+                if (name != nullptr && name->kind == tok::identifier) {
+                    const token* after = at(ts_, past + 1);
+                    if (after != nullptr && is_punct(*after, "(")) {
+                        continue;  // function returning unordered: collected project-wide
+                    }
+                    unordered_vars_.insert(name->text);
+                }
+            }
+            if (is_ident(ts_[i], "double") || is_ident(ts_[i], "float")) {
+                // Template arguments (static_cast<double>, span<const double>)
+                // are naturally skipped: the next token is '>' not a name.
+                std::size_t j = i + 1;
+                while (at(ts_, j) != nullptr &&
+                       (is_punct(ts_[j], "&") || is_punct(ts_[j], "*") || is_punct(ts_[j], "&&") ||
+                        is_ident(ts_[j], "const"))) {
+                    ++j;
+                }
+                const token* name = at(ts_, j);
+                const token* after = at(ts_, j + 1);
+                if (name != nullptr && name->kind == tok::identifier && after != nullptr &&
+                    !is_punct(*after, "(")) {
+                    float_vars_.insert(name->text);
+                }
+            }
+            // auto var = some_unordered_returning_function(...)
+            if (ts_[i].kind == tok::identifier &&
+                proj_.unordered_returning_functions.count(ts_[i].text) != 0 &&
+                at(ts_, i + 1) != nullptr && is_punct(ts_[i + 1], "(")) {
+                // Walk back over the qualification chain to find `name =`.
+                std::size_t j = i;
+                while (j >= 2 && is_punct(ts_[j - 1], "::") && ts_[j - 2].kind == tok::identifier) {
+                    j -= 2;
+                }
+                if (j >= 2 && is_punct(ts_[j - 1], "=") && ts_[j - 2].kind == tok::identifier) {
+                    unordered_vars_.insert(ts_[j - 2].text);
+                }
+            }
+        }
+    }
+
+    // --- unordered-iteration -----------------------------------------------
+
+    bool expr_touches_unordered(std::size_t begin, std::size_t end) const {
+        for (std::size_t i = begin; i < end && i < ts_.size(); ++i) {
+            const token& t = ts_[i];
+            if (t.kind != tok::identifier) continue;
+            if (unordered_vars_.count(t.text) != 0 ||
+                proj_.unordered_returning_functions.count(t.text) != 0 || is_unordered_name(t)) {
+                return true;
+            }
+        }
+        return false;
+    }
+
+    void check_unordered_iteration() {
+        for (std::size_t i = 0; i + 1 < ts_.size(); ++i) {
+            // Range-for over an unordered container.
+            if (is_ident(ts_[i], "for") && is_punct(ts_[i + 1], "(")) {
+                int depth = 0;
+                std::size_t colon = 0, close = 0;
+                for (std::size_t j = i + 1; j < ts_.size() && j < i + 200; ++j) {
+                    if (is_punct(ts_[j], "(")) ++depth;
+                    if (is_punct(ts_[j], ")")) {
+                        if (--depth == 0) {
+                            close = j;
+                            break;
+                        }
+                    }
+                    if (depth == 1 && is_punct(ts_[j], ":") && colon == 0) colon = j;
+                    if (is_punct(ts_[j], ";")) break;  // classic for loop
+                }
+                if (colon != 0 && close != 0 && expr_touches_unordered(colon + 1, close)) {
+                    flag(ts_[i].line, "unordered-iteration",
+                         "range-for over an unordered container: iteration order is not part "
+                         "of the (seed, trial) contract; sort into a vector (or use std::map) "
+                         "before results or output depend on it");
+                }
+            }
+            // Explicit iterator walk: container.begin() / cbegin() / rbegin().
+            if (ts_[i].kind == tok::identifier && unordered_vars_.count(ts_[i].text) != 0 &&
+                is_punct(ts_[i + 1], ".") && at(ts_, i + 2) != nullptr) {
+                const std::string& m = ts_[i + 2].text;
+                if ((m == "begin" || m == "cbegin" || m == "rbegin") && at(ts_, i + 3) != nullptr &&
+                    is_punct(ts_[i + 3], "(")) {
+                    flag(ts_[i].line, "unordered-iteration",
+                         "iterator walk over an unordered container: iteration order is "
+                         "nondeterministic; sort keys into a vector first");
+                }
+            }
+        }
+    }
+
+    // --- float-equality ----------------------------------------------------
+
+    struct operand_evidence {
+        bool float_literal = false;
+        bool int_literal = false;
+        bool tracked_var = false;
+    };
+
+    operand_evidence scan_operand(std::size_t begin, std::size_t end) const {
+        operand_evidence ev;
+        for (std::size_t i = begin; i < end && i < ts_.size(); ++i) {
+            const token& t = ts_[i];
+            if (t.kind == tok::number) (t.is_float ? ev.float_literal : ev.int_literal) = true;
+            if (t.kind == tok::identifier && float_vars_.count(t.text) != 0) ev.tracked_var = true;
+        }
+        return ev;
+    }
+
+    void check_float_equality() {
+        for (std::size_t i = 1; i + 1 < ts_.size(); ++i) {
+            if (!is_punct(ts_[i], "==") && !is_punct(ts_[i], "!=")) continue;
+            if (is_ident(ts_[i - 1], "operator")) continue;  // operator== definition
+            // Left operand: a single token, or a balanced (...) group.
+            std::size_t lbegin = i - 1, lend = i;
+            if (is_punct(ts_[i - 1], ")")) {
+                int depth = 0;
+                for (std::size_t j = i - 1; j + 1 > 0 && j + 60 > i; --j) {
+                    if (is_punct(ts_[j], ")")) ++depth;
+                    if (is_punct(ts_[j], "(")) {
+                        if (--depth == 0) {
+                            lbegin = j;
+                            break;
+                        }
+                    }
+                    if (j == 0) break;
+                }
+            }
+            // Right operand: skip unary sign; then a token, call, or group.
+            std::size_t rbegin = i + 1;
+            if (is_punct(ts_[rbegin], "-") || is_punct(ts_[rbegin], "+")) ++rbegin;
+            std::size_t rend = rbegin + 1;
+            const token* r0 = at(ts_, rbegin);
+            const token* r1 = at(ts_, rbegin + 1);
+            if (r0 != nullptr && is_punct(*r0, "(")) {
+                int depth = 0;
+                for (std::size_t j = rbegin; j < ts_.size() && j < rbegin + 60; ++j) {
+                    if (is_punct(ts_[j], "(")) ++depth;
+                    if (is_punct(ts_[j], ")") && --depth == 0) {
+                        rend = j + 1;
+                        break;
+                    }
+                }
+            } else if (r0 != nullptr && r0->kind == tok::identifier && r1 != nullptr &&
+                       is_punct(*r1, "(")) {
+                rend = rbegin + 2;  // call: judge by the callee name only
+            }
+            const operand_evidence l = scan_operand(lbegin, lend);
+            const operand_evidence r = scan_operand(rbegin, rend);
+            // Float-literal evidence always fires. Tracked-variable evidence
+            // alone does not fire against an integer literal: name tracking
+            // is file-scoped, so `n == 0` in a function where some *other*
+            // function has a double named n would be a false positive — and
+            // genuine float-zero checks are written `== 0.0`.
+            const bool int_literal = l.int_literal || r.int_literal;
+            const bool fires = l.float_literal || r.float_literal ||
+                               ((l.tracked_var || r.tracked_var) && !int_literal);
+            if (fires) {
+                flag(ts_[i].line, "float-equality",
+                     "floating-point " + ts_[i].text +
+                         " without a tolerance; compare std::abs(a - b) <= eps, or "
+                         "levylint:allow(float-equality) for an intentional exact check");
+            }
+        }
+    }
+
+    // --- include-hygiene ---------------------------------------------------
+
+    void check_include_hygiene() {
+        static const char* kRoots[] = {"src/", "bench/", "tools/", "include/", "examples/",
+                                       "tests/"};
+        std::set<std::string> seen;
+        for (const directive& d : lf_.directives) {
+            const std::string target = include_target(d);
+            if (target.empty()) continue;
+            if (!seen.insert(target).second) {
+                flag(d.line, "include-hygiene", "duplicate include of " + target);
+            }
+            if (target[0] != '"') continue;  // system/angle includes: not ours to police
+            const std::string path = target.substr(1, target.size() - 2);
+            if (path.find("..") != std::string::npos) {
+                flag(d.line, "include-hygiene",
+                     "'..' in include path defeats root-relative includes: \"" + path + "\"");
+                continue;
+            }
+            const bool rooted = std::any_of(std::begin(kRoots), std::end(kRoots),
+                                            [&](const char* r) { return starts_with(path, r); });
+            if (!rooted) {
+                flag(d.line, "include-hygiene",
+                     "quoted include must be repo-root-relative (src/..., bench/..., ...): \"" +
+                         path + "\"");
+            }
+        }
+    }
+
+    // --- header-guard ------------------------------------------------------
+
+    void check_header_guard() {
+        if (!ends_with(path_, ".h") && !ends_with(path_, ".hpp")) return;
+        int first_code_line = 1;
+        if (!lf_.directives.empty() && !ts_.empty()) {
+            first_code_line = std::min(lf_.directives[0].line, ts_[0].line);
+        } else if (!lf_.directives.empty()) {
+            first_code_line = lf_.directives[0].line;
+        } else if (!ts_.empty()) {
+            first_code_line = ts_[0].line;
+        }
+        bool seen_pragma_once = false;
+        for (std::size_t i = 0; i < lf_.directives.size(); ++i) {
+            const auto words = directive_words(lf_.directives[i]);
+            const bool is_once = words.size() >= 2 && words[0] == "pragma" && words[1] == "once";
+            if (!is_once) continue;
+            if (seen_pragma_once) {
+                flag(lf_.directives[i].line, "header-guard", "duplicate #pragma once");
+                continue;
+            }
+            seen_pragma_once = true;
+            if (i != 0) {
+                flag(lf_.directives[i].line, "header-guard",
+                     "#pragma once must be the header's first directive");
+            } else if (!ts_.empty() && ts_[0].line < lf_.directives[i].line) {
+                flag(lf_.directives[i].line, "header-guard",
+                     "#pragma once must precede all declarations");
+            }
+        }
+        if (!seen_pragma_once) {
+            flag(first_code_line, "header-guard",
+                 "header is missing #pragma once (repo convention; #ifndef guards are "
+                 "not used here)");
+        }
+    }
+
+    const std::string& path_;
+    const lexed_file& lf_;
+    const project_symbols& proj_;
+    const tokens_t& ts_;
+    std::set<std::string> unordered_vars_;
+    std::set<std::string> float_vars_;
+    std::vector<finding> findings_;
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Public interface
+
+const std::vector<rule_info>& rules() { return registry(); }
+
+bool known_rule(const std::string& id) {
+    return std::any_of(registry().begin(), registry().end(),
+                       [&](const rule_info& r) { return r.id == id; });
+}
+
+void collect_symbols(const lexed_file& lf, project_symbols& proj) {
+    const auto& ts = lf.tokens;
+    for (std::size_t i = 0; i < ts.size(); ++i) {
+        if (!is_unordered_name(ts[i]) || at(ts, i + 1) == nullptr || !is_punct(ts[i + 1], "<")) {
+            continue;
+        }
+        const std::size_t past = match_angles(ts, i + 1);
+        if (past == i + 1) continue;
+        const token* name = at(ts, past);
+        const token* after = at(ts, past + 1);
+        if (name != nullptr && name->kind == tok::identifier && after != nullptr &&
+            is_punct(*after, "(")) {
+            proj.unordered_returning_functions.insert(name->text);
+        }
+    }
+}
+
+std::vector<finding> analyze(const std::string& rel_path, const lexed_file& lf,
+                             const project_symbols& proj, bool ignore_suppressions) {
+    std::vector<finding> all = analysis(rel_path, lf, proj).run();
+    if (ignore_suppressions) return all;
+    const suppression_map allowed = build_suppressions(lf);
+    std::vector<finding> kept;
+    kept.reserve(all.size());
+    for (finding& f : all) {
+        const auto it = allowed.find(f.line);
+        if (it != allowed.end() && it->second.count(f.rule) != 0) continue;
+        kept.push_back(std::move(f));
+    }
+    return kept;
+}
+
+}  // namespace levylint

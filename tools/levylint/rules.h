@@ -1,0 +1,58 @@
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "tools/levylint/lexer.h"
+
+// levylint's rule registry and per-file analysis.
+//
+// Every rule enforces a *repo-specific* invariant that generic tooling
+// (clang-tidy, compiler warnings) cannot express — they all exist to
+// protect one guarantee: Monte-Carlo results are a pure function of
+// (seed, trial index), bit-identical for any thread count, chunk size,
+// standard-library implementation, or incidental memory layout.
+//
+// Findings on a line are suppressed by `// levylint:allow(<rule>[, ...])`
+// on the same line, or on an immediately preceding comment-only line.
+
+namespace levylint {
+
+struct finding {
+    std::string path;
+    int line = 0;
+    std::string rule;
+    std::string message;
+};
+
+struct rule_info {
+    std::string id;
+    std::string summary;      ///< one line, shown by --list-rules
+    std::string explanation;  ///< full rationale + fix guidance, shown by --explain
+};
+
+/// The registry, in reporting order.
+[[nodiscard]] const std::vector<rule_info>& rules();
+[[nodiscard]] bool known_rule(const std::string& id);
+
+/// Cross-file knowledge gathered in a first pass over every scanned file.
+struct project_symbols {
+    /// Functions whose declared return type is an unordered container
+    /// (e.g. sim::visit_census): iterating their result is as
+    /// order-unstable as iterating the container itself.
+    std::set<std::string> unordered_returning_functions;
+};
+
+void collect_symbols(const lexed_file& lf, project_symbols& proj);
+
+/// All findings for one file, sorted by line. `rel_path` is repo-root
+/// relative with '/' separators — the path-scoped exemptions (src/rng/ may
+/// seed, src/sim/thread_pool.* may touch std::thread) key off it.
+/// `ignore_suppressions` reports findings even on allow-annotated lines;
+/// the self-test uses it to prove the suppressed fixtures really violate.
+[[nodiscard]] std::vector<finding> analyze(const std::string& rel_path, const lexed_file& lf,
+                                           const project_symbols& proj,
+                                           bool ignore_suppressions = false);
+
+}  // namespace levylint
