@@ -44,7 +44,7 @@ void run(const sim::run_options& opts) {
     std::vector<std::int64_t> ells;
     for (const std::int64_t e : {48L, 192L}) ells.push_back(bench::scaled(e, opts.scale));
 
-    stats::text_table table({"ell", "strategy", "hit rate", "median tau^k", "p50/LB"});
+    stats::text_table table({"ell", "strategy", "hit rate", "cens", "median tau^k", "p50/LB"});
     for (const std::int64_t ell : ells) {
         const double lb = theory::universal_lower_bound(static_cast<double>(k),
                                                         static_cast<double>(ell));
@@ -55,10 +55,12 @@ void run(const sim::run_options& opts) {
             cfg.strategy = s.strategy;
             cfg.ell = ell;
             cfg.budget = static_cast<std::uint64_t>(48.0 * lb);
+            cfg.max_steps = opts.max_trial_steps;
             const auto mc = opts.mc(/*default_trials=*/60,
                                     /*salt=*/static_cast<std::uint64_t>(ell) * 8 + idx);
             const auto sample = sim::parallel_hitting_times(cfg, mc);
             table.add_row({stats::fmt(ell), s.name, stats::fmt(sample.hit_fraction(), 2),
+                           stats::fmt(sample.censored_fraction(), 2),
                            stats::fmt(stats::median(sample.times), 0),
                            stats::fmt(stats::median(sample.times) / lb, 1)});
             ++idx;

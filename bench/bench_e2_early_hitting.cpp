@@ -38,7 +38,8 @@ void run(const sim::run_options& opts) {
     std::vector<double> xs, ys;
     double worst_ratio = 0.0;
     for (const std::uint64_t t : budgets) {
-        const sim::single_walk_config cfg{.alpha = alpha, .ell = ell, .budget = t};
+        const sim::single_walk_config cfg{.alpha = alpha, .ell = ell, .budget = t,
+                                          .max_steps = opts.max_trial_steps};
         const auto mc = opts.mc(/*default_trials=*/150000, /*salt=*/t);
         const auto p = sim::single_hit_probability(cfg, mc);
         const double shape = theory::early_hit_prob(alpha, static_cast<double>(ell),

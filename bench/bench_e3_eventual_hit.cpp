@@ -35,7 +35,8 @@ void run(const sim::run_options& opts) {
             // 32×t_ℓ: hits beyond this add at most a polylog sliver.
             const auto budget = static_cast<std::uint64_t>(
                 16.0 * theory::t_ell(alpha, static_cast<double>(ell)));
-            const sim::single_walk_config cfg{.alpha = alpha, .ell = ell, .budget = budget};
+            const sim::single_walk_config cfg{.alpha = alpha, .ell = ell, .budget = budget,
+                                              .max_steps = opts.max_trial_steps};
             const auto mc = opts.mc(/*default_trials=*/2000,
                                     /*salt=*/static_cast<std::uint64_t>(ell) +
                                         static_cast<std::uint64_t>(alpha * 1000));

@@ -35,7 +35,8 @@ void run(const sim::run_options& opts) {
         for (const std::int64_t ell : ells) {
             const auto budget = static_cast<std::uint64_t>(
                 2.0 * theory::diffusive_budget(static_cast<double>(ell)));
-            const sim::single_walk_config cfg{.alpha = alpha, .ell = ell, .budget = budget};
+            const sim::single_walk_config cfg{.alpha = alpha, .ell = ell, .budget = budget,
+                                              .max_steps = opts.max_trial_steps};
             const auto mc = opts.mc(/*default_trials=*/800,
                                     /*salt=*/static_cast<std::uint64_t>(ell) * 7 +
                                         static_cast<std::uint64_t>(alpha * 100));

@@ -33,7 +33,8 @@ void run(const sim::run_options& opts) {
         std::vector<double> xs, ys;
         for (const std::int64_t ell : ells) {
             const auto budget = static_cast<std::uint64_t>(8 * ell);
-            const sim::single_walk_config cfg{.alpha = alpha, .ell = ell, .budget = budget};
+            const sim::single_walk_config cfg{.alpha = alpha, .ell = ell, .budget = budget,
+                                              .max_steps = opts.max_trial_steps};
             const auto mc = opts.mc(/*default_trials=*/60000,
                                     /*salt=*/static_cast<std::uint64_t>(ell) * 13 +
                                         static_cast<std::uint64_t>(alpha * 100));

@@ -32,7 +32,7 @@ void sweep(const sim::run_options& opts, std::size_t k, std::int64_t ell,
               << "*ell^2 = " << budget
               << ", alpha* = 3 - log k/log ell = " << stats::fmt(alpha_star, 3) << "\n";
 
-    stats::text_table table({"alpha", "alpha-alpha*", "hit rate", "median tau^k",
+    stats::text_table table({"alpha", "alpha-alpha*", "hit rate", "cens", "median tau^k",
                              "p50/LB(ell^2/k)", "verdict"});
     std::vector<double> sweep_alphas, sweep_medians;
     const double lower_bound = static_cast<double>(ell) * static_cast<double>(ell) /
@@ -43,6 +43,7 @@ void sweep(const sim::run_options& opts, std::size_t k, std::int64_t ell,
         cfg.strategy = fixed_exponent(alpha);
         cfg.ell = ell;
         cfg.budget = budget;
+        cfg.max_steps = opts.max_trial_steps;
         const auto mc = opts.mc(/*default_trials=*/80,
                                 /*salt=*/static_cast<std::uint64_t>(alpha * 1000) + k);
         const auto sample = sim::parallel_hitting_times(cfg, mc);
@@ -50,7 +51,8 @@ void sweep(const sim::run_options& opts, std::size_t k, std::int64_t ell,
         sweep_alphas.push_back(alpha);
         sweep_medians.push_back(med);
         table.add_row({stats::fmt(alpha, 2), stats::fmt(alpha - alpha_star, 2),
-                       stats::fmt(sample.hit_fraction(), 2), stats::fmt(med, 0),
+                       stats::fmt(sample.hit_fraction(), 2),
+                       stats::fmt(sample.censored_fraction(), 2), stats::fmt(med, 0),
                        stats::fmt(med / lower_bound, 1),
                        std::abs(alpha - alpha_star) < 0.15 ? "<- near alpha*" : ""});
     }

@@ -28,7 +28,7 @@ void run(const sim::run_options& opts) {
     const std::int64_t ell = bench::scaled(128, opts.scale);
     std::vector<std::size_t> ks = {2, 8, 32, 128, 512};
 
-    stats::text_table table({"k", "alpha*", "hit rate", "median tau^k", "ell^2/k",
+    stats::text_table table({"k", "alpha*", "hit rate", "cens", "median tau^k", "ell^2/k",
                              "p50/(ell^2/k)", "LB ell^2/k+ell"});
     std::vector<double> xs, ys;
     for (const std::size_t k : ks) {
@@ -42,13 +42,15 @@ void run(const sim::run_options& opts) {
             32.0 * (static_cast<double>(ell) * static_cast<double>(ell) /
                         static_cast<double>(k) +
                     static_cast<double>(ell)));
+        cfg.max_steps = opts.max_trial_steps;
         const auto mc = opts.mc(/*default_trials=*/150, /*salt=*/k);
         const auto sample = sim::parallel_hitting_times(cfg, mc);
         const double med = stats::median(sample.times);
         const double ideal = static_cast<double>(ell) * static_cast<double>(ell) /
                              static_cast<double>(k);
         table.add_row({stats::fmt(k), stats::fmt(alpha, 2),
-                       stats::fmt(sample.hit_fraction(), 2), stats::fmt(med, 0),
+                       stats::fmt(sample.hit_fraction(), 2),
+                       stats::fmt(sample.censored_fraction(), 2), stats::fmt(med, 0),
                        stats::fmt(ideal, 0), stats::fmt(med / ideal, 2),
                        stats::fmt(theory::universal_lower_bound(static_cast<double>(k),
                                                                 static_cast<double>(ell)),
@@ -58,7 +60,7 @@ void run(const sim::run_options& opts) {
     }
     const auto fit = stats::loglog_fit(xs, ys);
     table.add_separator();
-    table.add_row({"slope", "-", "-", stats::fmt(fit.slope, 3) + " (fit)", "-1 (paper)",
+    table.add_row({"slope", "-", "-", "-", stats::fmt(fit.slope, 3) + " (fit)", "-1 (paper)",
                    "r2=" + stats::fmt(fit.r_squared, 3), "-"});
     table.print(std::cout);
     std::cout << "\nReading: median tau^k tracks ell^2/k (slope ~ -1 in k) until the budget\n"

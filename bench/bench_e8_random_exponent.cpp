@@ -36,7 +36,7 @@ void run(const sim::run_options& opts) {
     std::vector<std::int64_t> ells;
     for (const std::int64_t e : {32L, 96L, 256L}) ells.push_back(bench::scaled(e, opts.scale));
 
-    stats::text_table table({"ell", "strategy", "hit rate", "median tau^k",
+    stats::text_table table({"ell", "strategy", "hit rate", "cens", "median tau^k",
                              "p50/LB", "LB = ell^2/k + ell"});
     for (const std::int64_t ell : ells) {
         const double lb = theory::universal_lower_bound(static_cast<double>(k),
@@ -55,13 +55,15 @@ void run(const sim::run_options& opts) {
             cfg.strategy = s.strategy;
             cfg.ell = ell;
             cfg.budget = static_cast<std::uint64_t>(48.0 * lb);
+            cfg.max_steps = opts.max_trial_steps;
             const auto mc = opts.mc(/*default_trials=*/50,
                                     /*salt=*/static_cast<std::uint64_t>(ell) * 10 +
                                         strategy_index);
             const auto sample = sim::parallel_hitting_times(cfg, mc);
             const double med = stats::median(sample.times);
             table.add_row({stats::fmt(ell), s.name, stats::fmt(sample.hit_fraction(), 2),
-                           stats::fmt(med, 0), stats::fmt(med / lb, 1), stats::fmt(lb, 0)});
+                           stats::fmt(sample.censored_fraction(), 2), stats::fmt(med, 0),
+                           stats::fmt(med / lb, 1), stats::fmt(lb, 0)});
             ++strategy_index;
         }
         table.add_separator();

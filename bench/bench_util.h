@@ -32,14 +32,23 @@ inline void banner(const std::string& id, const std::string& statement,
 }
 
 /// Wrap a bench main: parse options, run, convert exceptions to exit codes.
+/// With --checkpoint in effect, SIGTERM cancels cooperatively: completed
+/// trials are flushed to the journal and the process exits 130; rerunning
+/// with the same flags resumes and produces bit-identical output.
 inline int run_main(int argc, char** argv,
                     const std::function<void(const sim::run_options&)>& body) {
     try {
         const auto opts = sim::parse_run_options(argc, argv);
+        if (!opts.checkpoint_dir.empty()) sim::cancel_on_sigterm();
         body(opts);
         const auto metrics = sim::metrics_snapshot();
         if (metrics.trials > 0) std::cout << sim::format_throughput(metrics) << '\n';
         return 0;
+    } catch (const sim::run_cancelled&) {
+        std::cerr << argv[0]
+                  << ": cancelled; completed trials are journaled — rerun with the same "
+                     "--checkpoint to resume\n";
+        return 130;
     } catch (const std::exception& e) {
         std::cerr << argv[0] << ": " << e.what() << '\n';
         return 1;

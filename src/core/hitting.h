@@ -13,6 +13,12 @@ struct hit_result {
     bool hit = false;
     /// Hitting time if hit; otherwise the exhausted budget.
     std::uint64_t time = 0;
+    /// True when a watchdog cut the trial short of its *intended* budget
+    /// (sim::single_walk_config::max_steps), so "no hit" means "unknown
+    /// beyond `time` steps", not "missed the full budget". Estimators and
+    /// bench tables report the censored fraction instead of silently
+    /// folding these into the misses.
+    bool censored = false;
 
     friend constexpr bool operator==(hit_result, hit_result) noexcept = default;
 };

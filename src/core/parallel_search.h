@@ -24,6 +24,10 @@ struct parallel_result {
     std::size_t winner = kNoWinner;
     /// Exponent of the winning walk (NaN when none hit).
     double winner_alpha = std::numeric_limits<double>::quiet_NaN();
+    /// True when a watchdog truncated the trial below its intended budget
+    /// and no walk hit — the outcome past `time` steps is unknown, not a
+    /// miss (see sim::parallel_walk_config::max_steps).
+    bool censored = false;
 
     static constexpr std::size_t kNoWinner = std::numeric_limits<std::size_t>::max();
 };

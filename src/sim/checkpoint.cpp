@@ -1,0 +1,241 @@
+#include "src/sim/checkpoint.h"
+
+#include <array>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#define LEVY_HAVE_FSYNC 1
+#else
+#define LEVY_HAVE_FSYNC 0
+#endif
+
+#include "src/core/contracts.h"
+#include "src/sim/fault.h"
+
+namespace levy::sim {
+namespace {
+
+constexpr std::uint64_t kMagic = 0x4c56594a4f55524eULL;  // "LVYJOURN" big-endian bytes
+constexpr std::uint32_t kVersion = 1;
+constexpr std::size_t kHeaderBytes = 8 + 4 + 4 + 8 + 8 + 4;  // ..., trailing header CRC
+
+void append_u32(std::vector<char>& out, std::uint32_t v) {
+    for (int b = 0; b < 4; ++b) out.push_back(static_cast<char>((v >> (8 * b)) & 0xff));
+}
+
+void append_u64(std::vector<char>& out, std::uint64_t v) {
+    for (int b = 0; b < 8; ++b) out.push_back(static_cast<char>((v >> (8 * b)) & 0xff));
+}
+
+std::uint32_t read_u32(const char* p) {
+    std::uint32_t v = 0;
+    for (int b = 3; b >= 0; --b) v = (v << 8) | static_cast<unsigned char>(p[b]);
+    return v;
+}
+
+std::uint64_t read_u64(const char* p) {
+    std::uint64_t v = 0;
+    for (int b = 7; b >= 0; --b) v = (v << 8) | static_cast<unsigned char>(p[b]);
+    return v;
+}
+
+const std::array<std::uint32_t, 256>& crc_table() {
+    static const std::array<std::uint32_t, 256> table = [] {
+        std::array<std::uint32_t, 256> t{};
+        for (std::uint32_t i = 0; i < 256; ++i) {
+            std::uint32_t c = i;
+            for (int k = 0; k < 8; ++k) c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+            t[i] = c;
+        }
+        return t;
+    }();
+    return table;
+}
+
+}  // namespace
+
+std::uint32_t crc32(const void* data, std::size_t len) noexcept {
+    const auto* p = static_cast<const unsigned char*>(data);
+    std::uint32_t c = 0xffffffffu;
+    for (std::size_t i = 0; i < len; ++i) c = crc_table()[(c ^ p[i]) & 0xff] ^ (c >> 8);
+    return c ^ 0xffffffffu;
+}
+
+void atomic_write_file(const std::string& path, const std::vector<char>& bytes) {
+    const std::string tmp = path + ".tmp";
+    std::FILE* f = std::fopen(tmp.c_str(), "wb");
+    if (f == nullptr) {
+        throw std::runtime_error("atomic_write_file: cannot open " + tmp);
+    }
+    bool ok = bytes.empty() || std::fwrite(bytes.data(), 1, bytes.size(), f) == bytes.size();
+    ok = std::fflush(f) == 0 && ok;
+#if LEVY_HAVE_FSYNC
+    ok = ::fsync(::fileno(f)) == 0 && ok;
+#endif
+    ok = std::fclose(f) == 0 && ok;
+    if (!ok) {
+        std::remove(tmp.c_str());
+        throw std::runtime_error("atomic_write_file: short write to " + tmp);
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        throw std::runtime_error("atomic_write_file: cannot rename " + tmp + " -> " + path);
+    }
+}
+
+journal_contents load_journal(const std::string& path, const journal_key& key) {
+    journal_contents out;
+    std::ifstream in(path, std::ios::binary);
+    if (!in) return out;  // no journal yet: clean fresh start
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    const std::string bytes = ss.str();
+
+    if (bytes.size() < kHeaderBytes) {
+        out.dropped_tail = !bytes.empty();
+        return out;
+    }
+    const char* p = bytes.data();
+    if (read_u64(p) != kMagic || read_u32(p + 8) != kVersion ||
+        crc32(p, kHeaderBytes - 4) != read_u32(p + kHeaderBytes - 4)) {
+        out.dropped_tail = true;  // unrecognizable or rotted header: recompute all
+        return out;
+    }
+    const std::uint32_t payload_size = read_u32(p + 12);
+    const std::uint64_t seed = read_u64(p + 16);
+    const std::uint64_t trials = read_u64(p + 24);
+    if (payload_size != key.payload_size || seed != key.seed || trials != key.trials) {
+        return out;  // journal of a different run: ignore it wholesale
+    }
+    out.matched = true;
+
+    const std::size_t record_bytes = 8 + static_cast<std::size_t>(payload_size) + 4;
+    std::size_t off = kHeaderBytes;
+    std::uint64_t prev_index = 0;
+    bool first = true;
+    while (off + record_bytes <= bytes.size()) {
+        const char* rec = p + off;
+        const std::uint64_t index = read_u64(rec);
+        const std::uint32_t stored = read_u32(rec + 8 + payload_size);
+        // Records are written sorted and unique; anything else is corruption.
+        const bool ordered = first || index > prev_index;
+        if (index >= key.trials || !ordered || crc32(rec, 8 + payload_size) != stored) {
+            out.dropped_tail = true;
+            return out;
+        }
+        out.records.emplace(index, std::vector<char>(rec + 8, rec + 8 + payload_size));
+        prev_index = index;
+        first = false;
+        off += record_bytes;
+    }
+    if (off != bytes.size()) out.dropped_tail = true;  // trailing partial record
+    return out;
+}
+
+trial_journal::trial_journal(std::string path, const journal_key& key,
+                             std::size_t interval_trials, double interval_seconds)
+    : path_(std::move(path)),
+      key_(key),
+      interval_trials_(interval_trials),
+      interval_seconds_(interval_seconds),
+      last_flush_(std::chrono::steady_clock::now()) {
+    LEVY_PRECONDITION(!path_.empty(), "trial_journal: checkpoint path must be non-empty");
+    LEVY_PRECONDITION(interval_trials_ >= 1, "trial_journal: flush interval must be >= 1 trial");
+    LEVY_PRECONDITION(key_.payload_size >= 1, "trial_journal: payload size must be >= 1");
+}
+
+trial_journal::~trial_journal() {
+    std::lock_guard lk(m_);
+    if (!dirty_ || dead_) return;
+    try {
+        flush_locked();
+    } catch (...) {
+        // Destructor durability is best effort; commit() is the loud path.
+    }
+}
+
+std::vector<std::size_t> trial_journal::restore(void* results_base) {
+    journal_contents loaded = load_journal(path_, key_);
+    std::vector<std::size_t> missing;
+    std::lock_guard lk(m_);
+    dropped_tail_ = loaded.dropped_tail;
+    records_ = std::move(loaded.records);
+    auto* base = static_cast<char*>(results_base);
+    for (const auto& [index, payload] : records_) {
+        std::copy(payload.begin(), payload.end(),
+                  base + index * static_cast<std::size_t>(key_.payload_size));
+    }
+    missing.reserve(static_cast<std::size_t>(key_.trials) - records_.size());
+    auto it = records_.begin();
+    for (std::uint64_t i = 0; i < key_.trials; ++i) {
+        if (it != records_.end() && it->first == i) {
+            ++it;
+        } else {
+            missing.push_back(static_cast<std::size_t>(i));
+        }
+    }
+    return missing;
+}
+
+void trial_journal::record(std::size_t index, const void* payload) {
+    const auto* bytes = static_cast<const char*>(payload);
+    std::lock_guard lk(m_);
+    if (dead_) return;
+    LEVY_ASSERT(index < key_.trials, "trial_journal: record index out of range");
+    records_.insert_or_assign(static_cast<std::uint64_t>(index),
+                              std::vector<char>(bytes, bytes + key_.payload_size));
+    dirty_ = true;
+    ++unflushed_;
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - last_flush_).count();
+    if (unflushed_ >= interval_trials_ || elapsed >= interval_seconds_) flush_locked();
+}
+
+void trial_journal::commit() {
+    std::lock_guard lk(m_);
+    if (!dirty_ || dead_) return;
+    flush_locked();
+}
+
+std::size_t trial_journal::completed() const {
+    std::lock_guard lk(m_);
+    return records_.size();
+}
+
+void trial_journal::flush_locked() {
+    std::vector<char> bytes;
+    bytes.reserve(kHeaderBytes + records_.size() * (12 + key_.payload_size));
+    append_u64(bytes, kMagic);
+    append_u32(bytes, kVersion);
+    append_u32(bytes, key_.payload_size);
+    append_u64(bytes, key_.seed);
+    append_u64(bytes, key_.trials);
+    append_u32(bytes, crc32(bytes.data(), bytes.size()));
+    for (const auto& [index, payload] : records_) {
+        const std::size_t rec_start = bytes.size();
+        append_u64(bytes, index);
+        bytes.insert(bytes.end(), payload.begin(), payload.end());
+        append_u32(bytes, crc32(bytes.data() + rec_start, 8 + payload.size()));
+    }
+    // A planned short/torn write (fault.h) corrupts this flush exactly the
+    // way a dying disk would — after the mutated bytes land, the journal
+    // goes silently dead so the corruption survives for the next run's
+    // loader to recover from.
+    const bool injected = fault_on_checkpoint_flush(flush_ordinal_, bytes);
+    ++flush_ordinal_;
+    atomic_write_file(path_, bytes);
+    if (injected) {
+        dead_ = true;
+        return;
+    }
+    unflushed_ = 0;
+    dirty_ = false;
+    last_flush_ = std::chrono::steady_clock::now();
+}
+
+}  // namespace levy::sim

@@ -1,10 +1,21 @@
 #include "src/sim/experiment.h"
 
 #include <charconv>
+#include <csignal>
+#include <filesystem>
+#include <set>
 #include <sstream>
 #include <stdexcept>
 #include <string_view>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#define LEVY_HAVE_FSYNC 1
+#else
+#define LEVY_HAVE_FSYNC 0
+#endif
+
+#include "src/core/contracts.h"
 #include "src/rng/splitmix64.h"
 
 namespace levy::sim {
@@ -23,7 +34,23 @@ T parse_number(std::string_view text, std::string_view flag) {
     return value;
 }
 
+/// fsync every this many rows: bounded loss on kill without a syscall per row.
+constexpr std::size_t kCsvSyncBatch = 64;
+
+std::string hex64(std::uint64_t v) {
+    std::ostringstream out;
+    out << std::hex << v;
+    return out.str();
+}
+
+extern "C" void levy_sim_sigterm_handler(int) { request_cancel(); }
+
 }  // namespace
+
+void cancel_on_sigterm() noexcept {
+    clear_cancel();
+    std::signal(SIGTERM, levy_sim_sigterm_handler);
+}
 
 mc_options run_options::mc(std::size_t default_trials, std::uint64_t salt) const {
     mc_options opts;
@@ -31,6 +58,13 @@ mc_options run_options::mc(std::size_t default_trials, std::uint64_t salt) const
     opts.threads = threads;
     opts.chunk = chunk;
     opts.seed = salt == 0 ? seed : mix64(seed, salt);
+    if (!checkpoint_dir.empty()) {
+        // One journal per Monte-Carlo phase, keyed by its (salted) seed and
+        // trial count — exactly the identity the journal header validates.
+        opts.checkpoint_path = checkpoint_dir + "/mc-" + hex64(opts.seed) + "-" +
+                               std::to_string(opts.trials) + ".ckpt";
+        opts.checkpoint_interval = checkpoint_interval;
+    }
     return opts;
 }
 
@@ -42,20 +76,31 @@ std::string format_throughput(const run_metrics& m) {
         << static_cast<std::uint64_t>(m.trials_per_sec()) << " trials/s, " << m.max_workers
         << (m.max_workers == 1 ? " worker" : " workers") << ", "
         << static_cast<int>(m.utilization() * 100.0 + 0.5) << "% utilization)";
+    if (m.censored > 0) {
+        out << " [" << m.censored << " censored by --max-steps-per-trial]";
+    }
     return out.str();
 }
 
 run_options parse_run_options(int argc, char** argv) {
     run_options opts;
+    std::set<std::string, std::less<>> seen;
     for (int i = 1; i < argc; ++i) {
         const std::string_view arg = argv[i];
+        // Matches "--<flag>=<value>"; rejects empty values and repeats.
         const auto eat = [&](std::string_view flag) -> std::string_view {
-            const std::string_view prefix_eq = flag;
-            if (arg.substr(0, prefix_eq.size()) == prefix_eq &&
-                arg.size() > prefix_eq.size() && arg[prefix_eq.size()] == '=') {
-                return arg.substr(prefix_eq.size() + 1);
+            if (arg.substr(0, flag.size()) != flag || arg.size() <= flag.size() ||
+                arg[flag.size()] != '=') {
+                return {};
             }
-            return {};
+            if (!seen.emplace(flag).second) {
+                throw std::invalid_argument("duplicate flag: " + std::string(flag));
+            }
+            const std::string_view value = arg.substr(flag.size() + 1);
+            if (value.empty()) {
+                throw std::invalid_argument("empty value for " + std::string(flag));
+            }
+            return value;
         };
         if (auto v = eat("--trials"); !v.empty()) {
             opts.trials = parse_number<std::size_t>(v, "trials");
@@ -69,20 +114,84 @@ run_options parse_run_options(int argc, char** argv) {
             opts.seed = parse_number<std::uint64_t>(x, "seed");
         } else if (auto c = eat("--csv"); !c.empty()) {
             opts.csv_path = std::string(c);
+        } else if (auto d = eat("--checkpoint"); !d.empty()) {
+            opts.checkpoint_dir = std::string(d);
+        } else if (auto n = eat("--checkpoint-interval"); !n.empty()) {
+            opts.checkpoint_interval = parse_number<std::size_t>(n, "checkpoint-interval");
+        } else if (auto m = eat("--max-steps-per-trial"); !m.empty()) {
+            opts.max_trial_steps = parse_number<std::uint64_t>(m, "max-steps-per-trial");
         } else if (arg == "--help" || arg == "-h") {
             throw std::invalid_argument(
                 "usage: [--trials=N] [--scale=S] [--threads=T] [--chunk=C] [--seed=X] "
-                "[--csv=PATH]");
+                "[--csv=PATH] [--checkpoint=DIR] [--checkpoint-interval=K] "
+                "[--max-steps-per-trial=M]");
         } else {
             throw std::invalid_argument("unknown argument: " + std::string(arg));
         }
     }
     if (!(opts.scale > 0.0)) throw std::invalid_argument("--scale must be positive");
+    if (opts.checkpoint_interval == 0) {
+        throw std::invalid_argument("--checkpoint-interval must be >= 1");
+    }
     return opts;
 }
 
-csv_writer::csv_writer(const std::string& path) : out_(path) {
-    if (!out_) throw std::runtime_error("csv_writer: cannot open " + path);
+csv_writer::csv_writer(const std::string& path) : path_(path) {
+    const std::filesystem::path parent = std::filesystem::path(path).parent_path();
+    LEVY_PRECONDITION(parent.empty() || std::filesystem::is_directory(parent),
+                      "csv_writer: parent directory of --csv path does not exist: " + path);
+    const std::string tmp = path_ + ".tmp";
+    out_ = std::fopen(tmp.c_str(), "wb");
+    if (out_ == nullptr) throw std::runtime_error("csv_writer: cannot open " + tmp);
+}
+
+csv_writer::csv_writer(csv_writer&& other) noexcept
+    : path_(std::move(other.path_)),
+      out_(other.out_),
+      rows_since_sync_(other.rows_since_sync_) {
+    other.out_ = nullptr;
+}
+
+csv_writer& csv_writer::operator=(csv_writer&& other) noexcept {
+    if (this != &other) {
+        try {
+            close();
+        } catch (...) {
+        }
+        path_ = std::move(other.path_);
+        out_ = other.out_;
+        rows_since_sync_ = other.rows_since_sync_;
+        other.out_ = nullptr;
+    }
+    return *this;
+}
+
+csv_writer::~csv_writer() {
+    try {
+        close();
+    } catch (...) {
+        // Destructor commit is best effort; call close() for loud failures.
+    }
+}
+
+void csv_writer::close() {
+    if (!active()) return;
+    std::FILE* f = out_;
+    out_ = nullptr;
+    bool ok = std::fflush(f) == 0;
+#if LEVY_HAVE_FSYNC
+    ok = ::fsync(::fileno(f)) == 0 && ok;
+#endif
+    ok = std::fclose(f) == 0 && ok;
+    const std::string tmp = path_ + ".tmp";
+    if (!ok) {
+        std::remove(tmp.c_str());
+        throw std::runtime_error("csv_writer: failed writing " + tmp);
+    }
+    if (std::rename(tmp.c_str(), path_.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        throw std::runtime_error("csv_writer: cannot rename " + tmp + " -> " + path_);
+    }
 }
 
 void csv_writer::header(const std::vector<std::string>& cells) { line(cells); }
@@ -90,21 +199,33 @@ void csv_writer::row(const std::vector<std::string>& cells) { line(cells); }
 
 void csv_writer::line(const std::vector<std::string>& cells) {
     if (!active()) return;
+    std::string buf;
     for (std::size_t i = 0; i < cells.size(); ++i) {
-        if (i != 0) out_ << ',';
+        if (i != 0) buf += ',';
         const std::string& cell = cells[i];
         if (cell.find_first_of(",\"\n") != std::string::npos) {
-            out_ << '"';
+            buf += '"';
             for (char ch : cell) {
-                if (ch == '"') out_ << '"';
-                out_ << ch;
+                if (ch == '"') buf += '"';
+                buf += ch;
             }
-            out_ << '"';
+            buf += '"';
         } else {
-            out_ << cell;
+            buf += cell;
         }
     }
-    out_ << '\n';
+    buf += '\n';
+    if (std::fwrite(buf.data(), 1, buf.size(), out_) != buf.size()) {
+        throw std::runtime_error("csv_writer: short write to " + path_ + ".tmp");
+    }
+    if (++rows_since_sync_ >= kCsvSyncBatch) {
+        rows_since_sync_ = 0;
+        bool ok = std::fflush(out_) == 0;
+#if LEVY_HAVE_FSYNC
+        ok = ::fsync(::fileno(out_)) == 0 && ok;
+#endif
+        if (!ok) throw std::runtime_error("csv_writer: flush failed for " + path_ + ".tmp");
+    }
 }
 
 }  // namespace levy::sim

@@ -1,7 +1,7 @@
 #pragma once
 
 #include <cstdint>
-#include <fstream>
+#include <cstdio>
 #include <string>
 #include <vector>
 
@@ -10,13 +10,23 @@
 namespace levy::sim {
 
 /// Command-line options shared by every bench/example binary:
-///   --trials=N    Monte-Carlo trials per table row (scaled by each bench)
-///   --scale=S     multiplies problem sizes (ℓ grids, budgets); S=1 default
-///   --threads=T   worker threads (0 = hardware concurrency)
-///   --chunk=C     work-queue chunk size (0 = auto)
-///   --seed=X      master seed
-///   --csv=PATH    also write rows as CSV to PATH
-/// Unknown arguments throw, so typos fail loudly.
+///   --trials=N              Monte-Carlo trials per table row (scaled by each bench)
+///   --scale=S               multiplies problem sizes (ℓ grids, budgets); S=1 default
+///   --threads=T             worker threads (0 = hardware concurrency)
+///   --chunk=C               work-queue chunk size (0 = auto)
+///   --seed=X                master seed
+///   --csv=PATH              also write rows as CSV to PATH (crash-safe:
+///                           written to PATH.tmp, atomically renamed on close)
+///   --checkpoint=DIR        journal completed trials into DIR; a rerun with
+///                           the same flags resumes and reproduces the output
+///                           bit-identically (SIGTERM also checkpoints and
+///                           exits cleanly when this is set)
+///   --checkpoint-interval=K flush the journal every K completed trials (>= 1)
+///   --max-steps-per-trial=M watchdog: hard per-trial step cap; truncated
+///                           trials are reported as censored, never silently
+///                           folded into the statistics (0 = no cap)
+/// Unknown arguments, malformed/empty values, and duplicated flags all
+/// throw, so typos fail loudly.
 struct run_options {
     std::size_t trials = 0;  ///< 0 = keep the binary's default
     double scale = 1.0;
@@ -24,36 +34,70 @@ struct run_options {
     std::size_t chunk = 0;  ///< 0 = auto
     std::uint64_t seed = kDefaultSeed;
     std::string csv_path;
+    std::string checkpoint_dir;            ///< empty = no checkpointing
+    std::size_t checkpoint_interval = 256; ///< journal flush cadence (trials)
+    std::uint64_t max_trial_steps = 0;     ///< watchdog step cap (0 = off)
 
     /// mc_options with this run's trials (or `default_trials` when the user
     /// didn't override) and a per-use salt so distinct experiment phases in
-    /// one binary don't share streams.
+    /// one binary don't share streams. With --checkpoint set, each phase
+    /// journals to its own file inside the directory, keyed by the salted
+    /// seed and trial count — so give every phase a distinct salt (the
+    /// benches already do, to keep streams independent).
     [[nodiscard]] mc_options mc(std::size_t default_trials, std::uint64_t salt = 0) const;
 };
 
 [[nodiscard]] run_options parse_run_options(int argc, char** argv);
 
+/// Route SIGTERM into cooperative cancellation (request_cancel): the driver
+/// stops at the next trial boundary, flushes the checkpoint journal, and
+/// run_main exits with status 130. Installed by run_main when --checkpoint
+/// is in effect; without a checkpoint SIGTERM keeps its default (fatal)
+/// disposition, matching prior behavior.
+void cancel_on_sigterm() noexcept;
+
 /// One-line throughput report for the process's accumulated Monte-Carlo
 /// work, e.g. "throughput: 12800 trials in 1.92 s (6657 trials/s, 4 workers,
-/// 93% utilization)". Empty when no trials ran.
+/// 93% utilization)". Censored trials, if any, are appended so watchdog
+/// truncation is always visible. Empty when no trials ran.
 [[nodiscard]] std::string format_throughput(const run_metrics& m);
 
 /// Minimal CSV writer for experiment rows (RFC-4180 quoting for cells that
 /// need it). A default-constructed writer is inert, so benches can
 /// unconditionally call `row()` whether or not --csv was given.
+///
+/// Crash-safe: rows stream to `<path>.tmp` (flushed and fsync'd every few
+/// rows), and the file is atomically renamed to `path` on close()/
+/// destruction — a reader never observes a torn CSV, and a killed run
+/// leaves any previous complete CSV untouched.
 class csv_writer {
 public:
     csv_writer() = default;
+    /// Requires the parent directory of `path` to exist (precondition — a
+    /// doomed writer fails at open, not at exit); throws std::runtime_error
+    /// when the temp file cannot be created.
     explicit csv_writer(const std::string& path);
+    csv_writer(csv_writer&& other) noexcept;
+    csv_writer& operator=(csv_writer&& other) noexcept;
+    /// Commits via close(), swallowing errors (report them by calling
+    /// close() yourself).
+    ~csv_writer();
 
-    [[nodiscard]] bool active() const noexcept { return out_.is_open(); }
+    [[nodiscard]] bool active() const noexcept { return out_ != nullptr; }
 
     void header(const std::vector<std::string>& cells);
     void row(const std::vector<std::string>& cells);
 
+    /// Flush, fsync, and atomically rename the temp file into place.
+    /// Throws std::runtime_error on I/O failure. No-op when inactive.
+    void close();
+
 private:
     void line(const std::vector<std::string>& cells);
-    std::ofstream out_;
+
+    std::string path_;          ///< final path (temp is path_ + ".tmp")
+    std::FILE* out_ = nullptr;  ///< open on the temp file while active
+    std::size_t rows_since_sync_ = 0;
 };
 
 }  // namespace levy::sim

@@ -13,6 +13,13 @@ std::atomic<std::uint64_t> g_trials{0};
 std::atomic<std::uint64_t> g_wall_ns{0};
 std::atomic<std::uint64_t> g_busy_ns{0};
 std::atomic<unsigned> g_max_workers{0};
+std::atomic<std::uint64_t> g_censored{0};
+
+/// Cooperative cancellation flag; set from signal handlers, so it must be
+/// lock-free (static_assert'd below).
+std::atomic<bool> g_cancel{false};
+static_assert(std::atomic<bool>::is_always_lock_free,
+              "request_cancel must stay async-signal-safe");
 
 std::uint64_t to_ns(double seconds) {
     return static_cast<std::uint64_t>(seconds * 1e9);
@@ -33,6 +40,18 @@ pool_metrics parallel_for(std::size_t n, unsigned threads,
     return m;
 }
 
+void request_cancel() noexcept { g_cancel.store(true, std::memory_order_relaxed); }
+
+bool cancel_requested() noexcept { return g_cancel.load(std::memory_order_relaxed); }
+
+void clear_cancel() noexcept { g_cancel.store(false, std::memory_order_relaxed); }
+
+void throw_if_cancelled() {
+    if (cancel_requested()) throw run_cancelled();
+}
+
+void note_censored() noexcept { g_censored.fetch_add(1, std::memory_order_relaxed); }
+
 void record_metrics(const pool_metrics& m) noexcept {
     g_trials.fetch_add(m.items, std::memory_order_relaxed);
     g_wall_ns.fetch_add(to_ns(m.wall_seconds), std::memory_order_relaxed);
@@ -49,6 +68,7 @@ run_metrics metrics_snapshot() noexcept {
     out.wall_seconds = static_cast<double>(g_wall_ns.load(std::memory_order_relaxed)) * 1e-9;
     out.busy_seconds = static_cast<double>(g_busy_ns.load(std::memory_order_relaxed)) * 1e-9;
     out.max_workers = g_max_workers.load(std::memory_order_relaxed);
+    out.censored = static_cast<std::size_t>(g_censored.load(std::memory_order_relaxed));
     return out;
 }
 
@@ -57,6 +77,7 @@ void reset_metrics() noexcept {
     g_wall_ns.store(0, std::memory_order_relaxed);
     g_busy_ns.store(0, std::memory_order_relaxed);
     g_max_workers.store(0, std::memory_order_relaxed);
+    g_censored.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace levy::sim

@@ -26,6 +26,12 @@ struct single_walk_config {
     std::int64_t ell = 64;        ///< target distance ‖u*‖₁
     std::uint64_t budget = 0;     ///< step budget t
     std::uint64_t cap = kNoCap;   ///< optional jump-length cap
+    /// Watchdog: hard per-trial step cap (0 = run the full budget). A trial
+    /// truncated below `budget` that did not hit returns `censored = true`
+    /// — heavy-tailed trials get cut off loudly instead of hanging a sweep
+    /// or silently biasing means. Deterministic (steps, not wall clock), so
+    /// checkpoint/resume stays bit-identical.
+    std::uint64_t max_steps = 0;
 };
 
 /// One trial: a fresh Lévy walk from the origin vs u* = (ℓ, 0).
@@ -48,6 +54,8 @@ struct parallel_walk_config {
     std::int64_t ell = 64;
     std::uint64_t budget = 0;
     std::uint64_t cap = kNoCap;
+    /// Watchdog step cap, as in single_walk_config (0 = full budget).
+    std::uint64_t max_steps = 0;
 };
 
 /// One trial of τ^k against u* = (ℓ, 0).
@@ -62,9 +70,17 @@ struct parallel_walk_config {
 struct hitting_time_sample {
     std::vector<double> times;       ///< per-trial τ^k, censored at budget
     std::uint64_t hits = 0;
+    /// Trials the watchdog truncated below the intended budget without a
+    /// hit (their `times` entry is the truncated step count). Benches
+    /// report this as a censored-fraction column.
+    std::uint64_t censored = 0;
     [[nodiscard]] double hit_fraction() const noexcept {
         return times.empty() ? 0.0
                              : static_cast<double>(hits) / static_cast<double>(times.size());
+    }
+    [[nodiscard]] double censored_fraction() const noexcept {
+        return times.empty() ? 0.0
+                             : static_cast<double>(censored) / static_cast<double>(times.size());
     }
 };
 

@@ -1,10 +1,12 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <vector>
 
+#include "src/core/contracts.h"
 #include "src/sim/experiment.h"
 
 namespace levy::sim {
@@ -33,7 +35,9 @@ TEST(RunOptions, DefaultsWhenNoArgs) {
 
 TEST(RunOptions, ParsesAllFlags) {
     std::vector<std::string> args = {"--trials=500", "--scale=2.5", "--threads=3",
-                                     "--chunk=16",   "--seed=777",  "--csv=/tmp/out.csv"};
+                                     "--chunk=16",   "--seed=777",  "--csv=/tmp/out.csv",
+                                     "--checkpoint=/tmp/ckpt", "--checkpoint-interval=17",
+                                     "--max-steps-per-trial=4096"};
     auto argv = argv_of(args);
     const auto opts = parse_run_options(static_cast<int>(argv.size()), argv.data());
     EXPECT_EQ(opts.trials, 500u);
@@ -42,6 +46,9 @@ TEST(RunOptions, ParsesAllFlags) {
     EXPECT_EQ(opts.chunk, 16u);
     EXPECT_EQ(opts.seed, 777u);
     EXPECT_EQ(opts.csv_path, "/tmp/out.csv");
+    EXPECT_EQ(opts.checkpoint_dir, "/tmp/ckpt");
+    EXPECT_EQ(opts.checkpoint_interval, 17u);
+    EXPECT_EQ(opts.max_trial_steps, 4096u);
 }
 
 TEST(RunOptions, McForwardsChunk) {
@@ -82,7 +89,31 @@ TEST(RunOptions, RejectsMalformedNumbers) {
 }
 
 TEST(RunOptions, RejectsNonPositiveScale) {
-    std::vector<std::string> args = {"--scale=0"};
+    for (const char* bad : {"--scale=0", "--scale=-1.5"}) {
+        std::vector<std::string> args = {bad};
+        auto argv = argv_of(args);
+        EXPECT_THROW(parse_run_options(static_cast<int>(argv.size()), argv.data()),
+                     std::invalid_argument)
+            << bad;
+    }
+}
+
+TEST(RunOptions, RejectsDuplicateFlags) {
+    std::vector<std::string> args = {"--trials=10", "--trials=20"};
+    auto argv = argv_of(args);
+    EXPECT_THROW(parse_run_options(static_cast<int>(argv.size()), argv.data()),
+                 std::invalid_argument);
+}
+
+TEST(RunOptions, RejectsEmptyValue) {
+    std::vector<std::string> args = {"--seed="};
+    auto argv = argv_of(args);
+    EXPECT_THROW(parse_run_options(static_cast<int>(argv.size()), argv.data()),
+                 std::invalid_argument);
+}
+
+TEST(RunOptions, RejectsZeroCheckpointInterval) {
+    std::vector<std::string> args = {"--checkpoint-interval=0"};
     auto argv = argv_of(args);
     EXPECT_THROW(parse_run_options(static_cast<int>(argv.size()), argv.data()),
                  std::invalid_argument);
@@ -108,6 +139,21 @@ TEST(RunOptions, McSaltChangesSeed) {
     EXPECT_EQ(opts.mc(10, 0).seed, opts.seed);
 }
 
+TEST(RunOptions, McDerivesPerPhaseCheckpointPath) {
+    run_options opts;
+    EXPECT_TRUE(opts.mc(10).checkpoint_path.empty());
+    opts.checkpoint_dir = "/tmp/ckpts";
+    opts.checkpoint_interval = 11;
+    const auto a = opts.mc(10, /*salt=*/1);
+    EXPECT_EQ(a.checkpoint_path.rfind("/tmp/ckpts/mc-", 0), 0u);
+    EXPECT_EQ(a.checkpoint_interval, 11u);
+    // Distinct phases (salt or trial count) journal to distinct files.
+    EXPECT_NE(a.checkpoint_path, opts.mc(10, /*salt=*/2).checkpoint_path);
+    EXPECT_NE(a.checkpoint_path, opts.mc(20, /*salt=*/1).checkpoint_path);
+    // The same phase maps to the same file on a rerun.
+    EXPECT_EQ(a.checkpoint_path, opts.mc(10, /*salt=*/1).checkpoint_path);
+}
+
 TEST(CsvWriter, InactiveByDefault) {
     csv_writer w;
     EXPECT_FALSE(w.active());
@@ -130,8 +176,29 @@ TEST(CsvWriter, WritesQuotedCells) {
     std::remove(path.c_str());
 }
 
-TEST(CsvWriter, ThrowsOnUnwritablePath) {
-    EXPECT_THROW(csv_writer("/nonexistent_dir_xyz/file.csv"), std::runtime_error);
+TEST(CsvWriter, MissingParentDirectoryViolatesPrecondition) {
+    EXPECT_THROW(csv_writer("/nonexistent_dir_xyz/file.csv"), contract_violation);
+}
+
+TEST(CsvWriter, StreamsToTempAndRenamesOnClose) {
+    const std::string path = "/tmp/levy_csv_atomic_test.csv";
+    std::remove(path.c_str());
+    {
+        csv_writer w(path);
+        w.header({"a"});
+        w.row({"1"});
+        // Mid-run: only the temp file exists; the final path appears atomically.
+        EXPECT_TRUE(std::filesystem::exists(path + ".tmp"));
+        EXPECT_FALSE(std::filesystem::exists(path));
+        w.close();
+        EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+        EXPECT_TRUE(std::filesystem::exists(path));
+    }
+    std::ifstream in(path);
+    std::stringstream ss;
+    ss << in.rdbuf();
+    EXPECT_EQ(ss.str(), "a\n1\n");
+    std::remove(path.c_str());
 }
 
 }  // namespace

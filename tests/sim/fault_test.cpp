@@ -1,0 +1,183 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <filesystem>
+#include <new>
+#include <vector>
+
+#include "src/sim/checkpoint.h"
+#include "src/sim/fault.h"
+#include "src/sim/monte_carlo.h"
+
+namespace levy::sim {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Every test leaves the process clean: no plan installed, no pending
+/// cancellation, no scratch directory — even when an assertion fails.
+class FaultTest : public ::testing::Test {
+protected:
+    void SetUp() override {
+        clear_fault_plan();
+        clear_cancel();
+        dir_ = fs::temp_directory_path() / "levy_fault_test";
+        fs::remove_all(dir_);
+        fs::create_directories(dir_);
+    }
+    void TearDown() override {
+        clear_fault_plan();
+        clear_cancel();
+        fs::remove_all(dir_);
+    }
+
+    [[nodiscard]] std::string file(const std::string& name) const {
+        return (dir_ / name).string();
+    }
+
+    /// Checkpointed options used by all the crash/resume tests; interval 1
+    /// so every completed trial is durable by the time a fault fires.
+    [[nodiscard]] mc_options opts(const std::string& journal) const {
+        mc_options o;
+        o.trials = 64;
+        o.threads = 2;
+        o.seed = 0xfa017;
+        o.checkpoint_path = file(journal);
+        o.checkpoint_interval = 1;
+        return o;
+    }
+
+    fs::path dir_;
+};
+
+std::uint64_t trial_value(std::size_t i, rng& g) { return g() ^ (i * 2654435761u); }
+
+TEST_F(FaultTest, PlanActivationToggles) {
+    EXPECT_FALSE(fault_plan_active());
+    install_fault_plan(fault_plan{});
+    EXPECT_TRUE(fault_plan_active());
+    clear_fault_plan();
+    EXPECT_FALSE(fault_plan_active());
+    // With no plan installed the hooks are inert.
+    fault_before_trial(0);
+    fault_after_trial(0);
+    std::vector<char> bytes(4, 'x');
+    EXPECT_FALSE(fault_on_checkpoint_flush(0, bytes));
+}
+
+TEST_F(FaultTest, WorkerExceptionPropagatesThenResumeCompletes) {
+    auto o = opts("throw.ckpt");
+    mc_options plain = o;
+    plain.checkpoint_path.clear();
+    const auto reference = monte_carlo_collect(plain, trial_value);
+
+    fault_plan plan;
+    plan.throw_at_trial = 37;
+    install_fault_plan(plan);
+    EXPECT_THROW(monte_carlo_collect(o, trial_value), injected_fault);
+    clear_fault_plan();
+
+    // The journal kept the trials that finished before the fault…
+    std::atomic<std::size_t> reruns{0};
+    const auto resumed = monte_carlo_collect(o, [&](std::size_t i, rng& g) {
+        reruns.fetch_add(1, std::memory_order_relaxed);
+        return trial_value(i, g);
+    });
+    // …so the resume recomputes a strict subset and lands on the same bits.
+    EXPECT_EQ(resumed, reference);
+    EXPECT_LT(reruns.load(), o.trials);
+    EXPECT_GE(reruns.load(), 1u);  // trial 37 itself never completed
+}
+
+TEST_F(FaultTest, SimulatedAllocationFailurePropagates) {
+    fault_plan plan;
+    plan.bad_alloc_at_trial = 5;
+    install_fault_plan(plan);
+    mc_options o;
+    o.trials = 16;
+    o.threads = 2;
+    EXPECT_THROW(monte_carlo_collect(o, trial_value), std::bad_alloc);
+}
+
+TEST_F(FaultTest, CooperativeCancellationJournalsAndResumes) {
+    auto o = opts("cancel.ckpt");
+    mc_options plain = o;
+    plain.checkpoint_path.clear();
+    const auto reference = monte_carlo_collect(plain, trial_value);
+
+    fault_plan plan;
+    plan.cancel_after_trial = 9;  // SIGTERM equivalent, minus the signal
+    install_fault_plan(plan);
+    EXPECT_THROW(monte_carlo_collect(o, trial_value), run_cancelled);
+    clear_fault_plan();
+    clear_cancel();
+
+    // Trial 9 completed before the cancel, so it must already be durable.
+    const auto loaded = load_journal(
+        o.checkpoint_path, journal_key{o.seed, o.trials, sizeof(std::uint64_t)});
+    EXPECT_TRUE(loaded.matched);
+    EXPECT_EQ(loaded.records.count(9), 1u);
+    EXPECT_LT(loaded.records.size(), o.trials);
+
+    EXPECT_EQ(monte_carlo_collect(o, trial_value), reference);
+}
+
+TEST_F(FaultTest, CancellationWithoutCheckpointStillRaises) {
+    request_cancel();
+    EXPECT_TRUE(cancel_requested());
+    mc_options o;
+    o.trials = 8;
+    o.threads = 1;
+    EXPECT_THROW(monte_carlo_collect(o, trial_value), run_cancelled);
+    clear_cancel();
+    EXPECT_FALSE(cancel_requested());
+}
+
+TEST_F(FaultTest, TornWriteSurvivesOnDiskAndNextRunRecovers) {
+    auto o = opts("torn.ckpt");
+    mc_options plain = o;
+    plain.checkpoint_path.clear();
+    const auto reference = monte_carlo_collect(plain, trial_value);
+
+    fault_plan plan;
+    plan.torn_write_flush = 3;
+    plan.torn_write_offset = 50;  // lands inside some record
+    install_fault_plan(plan);
+    // The run itself still completes — the journal plays dead after the
+    // corrupted flush, exactly like a disk going bad under a live process.
+    EXPECT_EQ(monte_carlo_collect(o, trial_value), reference);
+    clear_fault_plan();
+
+    // The corruption is really on disk: the loader drops the bad tail.
+    const journal_key key{o.seed, o.trials, sizeof(std::uint64_t)};
+    const auto loaded = load_journal(o.checkpoint_path, key);
+    EXPECT_TRUE(loaded.dropped_tail || !loaded.matched);
+    EXPECT_LT(loaded.records.size(), o.trials);
+
+    // And the next run recomputes whatever was lost, bit-identically.
+    EXPECT_EQ(monte_carlo_collect(o, trial_value), reference);
+    const auto repaired = load_journal(o.checkpoint_path, key);
+    EXPECT_TRUE(repaired.matched);
+    EXPECT_FALSE(repaired.dropped_tail);
+    EXPECT_EQ(repaired.records.size(), o.trials);
+}
+
+TEST_F(FaultTest, ShortWriteSurvivesOnDiskAndNextRunRecovers) {
+    auto o = opts("short.ckpt");
+    mc_options plain = o;
+    plain.checkpoint_path.clear();
+    const auto reference = monte_carlo_collect(plain, trial_value);
+
+    fault_plan plan;
+    plan.short_write_flush = 2;
+    plan.short_write_bytes = 20;  // even the header is cut short
+    install_fault_plan(plan);
+    EXPECT_EQ(monte_carlo_collect(o, trial_value), reference);
+    clear_fault_plan();
+
+    EXPECT_EQ(monte_carlo_collect(o, trial_value), reference);
+}
+
+}  // namespace
+}  // namespace levy::sim

@@ -89,6 +89,51 @@ TEST(ParallelHittingTimes, CensorsMissesAtBudget) {
     for (double t : sample.times) EXPECT_DOUBLE_EQ(t, 50.0);
 }
 
+TEST(Watchdog, MaxStepsTruncatesAndMarksCensored) {
+    single_walk_config cfg{.alpha = 2.5, .ell = 1000000, .budget = 10000};
+    cfg.max_steps = 64;
+    const auto r = single_walk_trial(cfg, rng::seeded(3));
+    EXPECT_FALSE(r.hit);
+    EXPECT_EQ(r.time, 64u);
+    EXPECT_TRUE(r.censored);
+    // Without the cap the same trial runs its full budget, uncensored.
+    cfg.max_steps = 0;
+    const auto full = single_walk_trial(cfg, rng::seeded(3));
+    EXPECT_EQ(full.time, 10000u);
+    EXPECT_FALSE(full.censored);
+    // A cap at or above the budget changes nothing — not even the flag.
+    cfg.max_steps = 10000;
+    EXPECT_EQ(single_walk_trial(cfg, rng::seeded(3)), full);
+}
+
+TEST(Watchdog, CensoredCountFlowsIntoSampleAndMetrics) {
+    reset_metrics();
+    parallel_walk_config cfg;
+    cfg.k = 2;
+    cfg.strategy = fixed_exponent(2.5);
+    cfg.ell = 100000;  // unreachable: every truncated trial is censored
+    cfg.budget = 500;
+    cfg.max_steps = 40;
+    const auto sample = parallel_hitting_times(cfg, {.trials = 20, .threads = 1, .seed = 9});
+    EXPECT_EQ(sample.censored, 20u);
+    EXPECT_DOUBLE_EQ(sample.censored_fraction(), 1.0);
+    for (double t : sample.times) EXPECT_DOUBLE_EQ(t, 40.0);
+    EXPECT_EQ(metrics_snapshot().censored, 20u);
+    reset_metrics();
+}
+
+TEST(Watchdog, UntruncatedTrialsAreNotCensored) {
+    parallel_walk_config cfg;
+    cfg.k = 8;
+    cfg.strategy = fixed_exponent(2.3);
+    cfg.ell = 6;
+    cfg.budget = 2000;
+    cfg.max_steps = 2000;  // cap == budget: nothing is truncated
+    const auto sample = parallel_hitting_times(cfg, {.trials = 50, .threads = 1, .seed = 10});
+    EXPECT_EQ(sample.censored, 0u);
+    EXPECT_DOUBLE_EQ(sample.censored_fraction(), 0.0);
+}
+
 TEST(ParallelHittingTimes, HitFractionMatchesCounts) {
     parallel_walk_config cfg;
     cfg.k = 8;

@@ -1,0 +1,238 @@
+// levyfault — fault-injection driver proving the crash-safety story
+// end to end, from outside the process.
+//
+// Subcommands:
+//   levyfault run [--trials=N] [--seed=X] [--threads=T] [--out=FILE]
+//                 [--checkpoint=FILE] [--checkpoint-interval=K]
+//                 [--max-steps-per-trial=M]
+//                 [--crash-after=N] [--cancel-after=N]
+//                 [--torn-write=F] [--short-write=F]
+//       One fixed parallel-walk sweep; per-trial results as CSV to --out
+//       (default stdout). --crash-after=N _Exit(9)s before trial N — a
+//       SIGKILL-grade death: no unwinding, no final flush, only journal
+//       bytes already renamed into place survive. --torn-write/--short-write
+//       corrupt checkpoint flush number F on disk (see src/sim/fault.h).
+//
+//   levyfault selftest [--dir=DIR]
+//       Spawns itself: for 1 and 4 threads, runs an uninterrupted
+//       reference, then a crashed run, then a resume, and byte-compares
+//       the resumed CSV against the reference. Also proves torn-write
+//       recovery. Exit 0 = every scenario bit-identical.
+
+#include <charconv>
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+#include "src/core/strategy.h"
+#include "src/sim/experiment.h"
+#include "src/sim/fault.h"
+#include "src/sim/monte_carlo.h"
+#include "src/sim/trial.h"
+
+namespace {
+
+using namespace levy;
+
+class arg_map {
+public:
+    arg_map(int argc, char** argv, int first) {
+        for (int i = first; i < argc; ++i) {
+            const std::string_view arg = argv[i];
+            if (arg.substr(0, 2) != "--") {
+                throw std::invalid_argument("expected --flag[=value], got: " + std::string(arg));
+            }
+            const auto eq = arg.find('=');
+            if (eq == std::string_view::npos) {
+                values_[std::string(arg.substr(2))] = "";
+            } else {
+                values_[std::string(arg.substr(2, eq - 2))] = std::string(arg.substr(eq + 1));
+            }
+        }
+    }
+
+    [[nodiscard]] bool has(const std::string& key) const { return values_.contains(key); }
+
+    [[nodiscard]] std::string text(const std::string& key, const std::string& fallback) const {
+        const auto it = values_.find(key);
+        return it == values_.end() ? fallback : it->second;
+    }
+
+    template <class T>
+    [[nodiscard]] T get(const std::string& key, T fallback) const {
+        const auto it = values_.find(key);
+        if (it == values_.end()) return fallback;
+        T value{};
+        const auto& text = it->second;
+        const auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(), value);
+        if (ec != std::errc{} || ptr != text.data() + text.size()) {
+            throw std::invalid_argument("bad value for --" + key + ": " + text);
+        }
+        return value;
+    }
+
+private:
+    std::map<std::string, std::string> values_;
+};
+
+int cmd_run(const arg_map& args) {
+    sim::mc_options opts;
+    opts.trials = args.get<std::size_t>("trials", 120);
+    opts.seed = args.get<std::uint64_t>("seed", sim::kDefaultSeed);
+    opts.threads = args.get<unsigned>("threads", 1);
+    opts.checkpoint_path = args.text("checkpoint", "");
+    opts.checkpoint_interval = args.get<std::size_t>("checkpoint-interval", 1);
+
+    sim::fault_plan plan;
+    plan.exit_at_trial = args.get<std::size_t>("crash-after", sim::fault_plan::kNever);
+    plan.cancel_after_trial = args.get<std::size_t>("cancel-after", sim::fault_plan::kNever);
+    plan.torn_write_flush = args.get<std::size_t>("torn-write", sim::fault_plan::kNever);
+    plan.torn_write_offset = 50;
+    plan.short_write_flush = args.get<std::size_t>("short-write", sim::fault_plan::kNever);
+    plan.short_write_bytes = 20;
+    const bool any_fault = plan.exit_at_trial != sim::fault_plan::kNever ||
+                           plan.cancel_after_trial != sim::fault_plan::kNever ||
+                           plan.torn_write_flush != sim::fault_plan::kNever ||
+                           plan.short_write_flush != sim::fault_plan::kNever;
+    if (any_fault) sim::install_fault_plan(plan);
+
+    // The workload itself is fixed: the selftest is about the journal, so
+    // only the Monte-Carlo identity (seed, trials) varies.
+    sim::parallel_walk_config cfg;
+    cfg.k = 4;
+    cfg.strategy = fixed_exponent(2.5);
+    cfg.ell = 16;
+    cfg.budget = 4000;
+    cfg.max_steps = args.get<std::uint64_t>("max-steps-per-trial", 0);
+
+    const auto results = sim::monte_carlo_collect(
+        opts, [&cfg](std::size_t, rng& g) { return sim::parallel_walk_trial(cfg, g); });
+    sim::clear_fault_plan();
+
+    std::ostringstream csv;
+    csv << "trial,hit,time,censored\n";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        csv << i << ',' << results[i].hit << ',' << results[i].time << ','
+            << results[i].censored << '\n';
+    }
+    const std::string out_path = args.text("out", "");
+    if (out_path.empty()) {
+        std::cout << csv.str();
+    } else {
+        std::ofstream out(out_path, std::ios::binary | std::ios::trunc);
+        out << csv.str();
+        if (!out.good()) throw std::runtime_error("levyfault: cannot write " + out_path);
+    }
+    return 0;
+}
+
+/// Run a child levyfault command line; returns its raw std::system status.
+int spawn(const std::string& self, const std::string& args) {
+    const std::string cmd = self + " " + args;
+    std::cout << "  $ " << cmd << "\n";
+    return std::system(cmd.c_str());
+}
+
+std::string slurp(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+int fail(const std::string& what) {
+    std::cerr << "levyfault selftest FAILED: " << what << "\n";
+    return 1;
+}
+
+int cmd_selftest(const std::string& self, const arg_map& args) {
+    namespace fs = std::filesystem;
+    const fs::path dir = args.text("dir", (fs::temp_directory_path() / "levyfault_selftest").string());
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+    const auto p = [&dir](const std::string& name) { return (dir / name).string(); };
+
+    for (const unsigned threads : {1u, 4u}) {
+        const std::string common = "run --trials=120 --seed=1337 --threads=" +
+                                   std::to_string(threads) + " --checkpoint-interval=1";
+        std::cout << "[levyfault] crash/resume, threads=" << threads << "\n";
+
+        if (spawn(self, common + " --out=" + p("ref.csv")) != 0) {
+            return fail("reference run did not exit 0");
+        }
+        const std::string reference = slurp(p("ref.csv"));
+        if (reference.empty()) return fail("reference CSV is empty");
+
+        // Crash mid-sweep: _Exit(9) with no unwinding. The only durable
+        // state is whatever the journal had already renamed into place.
+        const std::string journal = p("crash-" + std::to_string(threads) + ".ckpt");
+        if (spawn(self, common + " --checkpoint=" + journal + " --crash-after=40 --out=" +
+                            p("crashed.csv")) == 0) {
+            return fail("crashed run exited 0 — fault did not fire");
+        }
+        if (!fs::exists(journal)) return fail("crash left no journal behind");
+
+        // Resume must complete and reproduce the reference byte for byte.
+        if (spawn(self, common + " --checkpoint=" + journal + " --out=" + p("resumed.csv")) !=
+            0) {
+            return fail("resume run did not exit 0");
+        }
+        if (slurp(p("resumed.csv")) != reference) {
+            return fail("resumed CSV differs from uninterrupted reference");
+        }
+
+        // Torn checkpoint write: the run survives (journal plays dead), the
+        // corruption stays on disk, and the next run recovers through it.
+        const std::string torn = p("torn-" + std::to_string(threads) + ".ckpt");
+        if (spawn(self, common + " --checkpoint=" + torn + " --torn-write=3 --out=" +
+                            p("torn1.csv")) != 0) {
+            return fail("torn-write run did not exit 0");
+        }
+        if (slurp(p("torn1.csv")) != reference) {
+            return fail("torn-write run output differs from reference");
+        }
+        if (spawn(self, common + " --checkpoint=" + torn + " --out=" + p("torn2.csv")) != 0) {
+            return fail("post-corruption resume did not exit 0");
+        }
+        if (slurp(p("torn2.csv")) != reference) {
+            return fail("post-corruption resume differs from reference");
+        }
+    }
+
+    fs::remove_all(dir);
+    std::cout << "[levyfault] all crash/resume scenarios bit-identical\n";
+    return 0;
+}
+
+void usage() {
+    std::cout << "levyfault <run|selftest> [--flag=value ...]   (see source header)\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    try {
+        if (argc < 2) {
+            usage();
+            return 2;
+        }
+        const std::string_view cmd = argv[1];
+        const arg_map args(argc, argv, 2);
+        if (cmd == "run") return cmd_run(args);
+        if (cmd == "selftest") return cmd_selftest(argv[0], args);
+        usage();
+        return 2;
+    } catch (const sim::run_cancelled&) {
+        std::cerr << "levyfault: cancelled (journal flushed)\n";
+        return 130;
+    } catch (const std::exception& e) {
+        std::cerr << "levyfault: " << e.what() << '\n';
+        return 1;
+    }
+}

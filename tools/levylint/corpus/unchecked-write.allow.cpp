@@ -1,0 +1,15 @@
+// Same seeded violations, each suppressed on its declaration line.
+#include <fstream>
+#include <string>
+
+void dump_table(const std::string& path) {
+    // levylint:allow(unchecked-write) scratch file: losing it is acceptable
+    std::ofstream out(path);
+    out << "alpha,p_hit\n";
+    out << "2,1\n";
+}
+
+void dump_binary(const std::string& path, const char* bytes, long n) {
+    std::ofstream blob(path, std::ios::binary);  // levylint:allow(unchecked-write) debug dump
+    blob.write(bytes, n);
+}

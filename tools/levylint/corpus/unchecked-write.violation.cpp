@@ -1,0 +1,15 @@
+// Seeded violations: results streamed to disk with no stream-state check.
+#include <fstream>
+#include <string>
+
+void dump_table(const std::string& path) {
+    std::ofstream out(path);
+    out << "alpha,p_hit\n";  // a full disk sets failbit and this becomes a no-op
+    out << "2,1\n";
+    // ...function returns, exit status 0, file silently truncated or empty.
+}
+
+void dump_binary(const std::string& path, const char* bytes, long n) {
+    std::ofstream blob(path, std::ios::binary);
+    blob.write(bytes, n);  // .write() is just as silent as <<
+}

@@ -78,6 +78,19 @@ const std::vector<rule_info>& registry() {
          "rejected too (one convention, zero guard-name collisions).\n"
          "\n"
          "Fix: put #pragma once on the first non-comment line of the header.\n"},
+        {"unchecked-write",
+         "std::ofstream written but its stream state is never checked",
+         "An std::ofstream swallows I/O errors silently: a full disk, a yanked\n"
+         "mount, or a permissions change just sets failbit and every subsequent\n"
+         "`<<` becomes a no-op. A results file produced that way is truncated or\n"
+         "empty with exit status 0 — the worst failure mode for a long sweep,\n"
+         "and exactly what the crash-safe writers in src/sim/ exist to prevent.\n"
+         "\n"
+         "Fix: check the stream at least once after writing (`if (!out) ...`,\n"
+         "out.good()/fail()/bad()), or route through sim::csv_writer /\n"
+         "sim::atomic_write_file, which fsync, verify, and rename atomically. A\n"
+         "genuinely loss-tolerant scratch file may carry\n"
+         "levylint:allow(unchecked-write) on its declaration line.\n"},
     };
     return r;
 }
@@ -230,6 +243,7 @@ public:
         check_float_equality();
         check_include_hygiene();
         check_header_guard();
+        check_unchecked_write();
         std::stable_sort(findings_.begin(), findings_.end(),
                          [](const finding& a, const finding& b) { return a.line < b.line; });
         return std::move(findings_);
@@ -551,6 +565,89 @@ private:
             flag(first_code_line, "header-guard",
                  "header is missing #pragma once (repo convention; #ifndef guards are "
                  "not used here)");
+        }
+    }
+
+    // --- unchecked-write ---------------------------------------------------
+
+    void check_unchecked_write() {
+        // Direct std::ofstream objects only: a reference/parameter is owned —
+        // and checked — by someone else.
+        std::map<std::string, int> decl_line;
+        for (std::size_t i = 0; i + 2 < ts_.size(); ++i) {
+            if (!is_ident(ts_[i], "ofstream")) continue;
+            const token& name = ts_[i + 1];
+            const token& after = ts_[i + 2];
+            if (name.kind != tok::identifier) continue;
+            if (is_punct(after, "(") || is_punct(after, "{") || is_punct(after, ";") ||
+                is_punct(after, "=")) {
+                decl_line.emplace(name.text, name.line);
+            }
+        }
+        if (decl_line.empty()) return;
+
+        static const char* kStateMembers[] = {"good",    "fail",    "bad",       "eof",
+                                              "is_open", "rdstate", "exceptions"};
+        std::set<std::string> written, checked;
+        for (std::size_t i = 0; i < ts_.size(); ++i) {
+            const token& t = ts_[i];
+            if (t.kind != tok::identifier || decl_line.count(t.text) == 0) continue;
+            const token* prev = i > 0 ? &ts_[i - 1] : nullptr;
+            if (prev != nullptr &&
+                (is_punct(*prev, ".") || is_punct(*prev, "->") || is_punct(*prev, "::"))) {
+                continue;  // member/qualified access to something else's `out`
+            }
+            const token* next = at(ts_, i + 1);
+            const token* next2 = at(ts_, i + 2);
+            const token* next3 = at(ts_, i + 3);
+            if (next != nullptr && is_punct(*next, "<<")) {
+                written.insert(t.text);
+                continue;
+            }
+            if (next != nullptr && is_punct(*next, ".") && next2 != nullptr &&
+                (next2->text == "write" || next2->text == "put") && next3 != nullptr &&
+                is_punct(*next3, "(")) {
+                written.insert(t.text);
+                continue;
+            }
+            // Anything that observes stream state counts as a check: !out,
+            // out.good()/fail()/..., out in a boolean context, or the stream
+            // handed to another function (which can check it).
+            if (prev != nullptr && is_punct(*prev, "!")) {
+                checked.insert(t.text);
+                continue;
+            }
+            if (next != nullptr && is_punct(*next, ".") && next2 != nullptr &&
+                std::any_of(std::begin(kStateMembers), std::end(kStateMembers),
+                            [&](const char* m) { return next2->text == m; })) {
+                checked.insert(t.text);
+                continue;
+            }
+            if (next != nullptr &&
+                (is_punct(*next, "&&") || is_punct(*next, "||") || is_punct(*next, "?"))) {
+                checked.insert(t.text);
+                continue;
+            }
+            if (prev != nullptr && is_punct(*prev, "(") && i >= 2 &&
+                (is_ident(ts_[i - 2], "if") || is_ident(ts_[i - 2], "while")) &&
+                next != nullptr && is_punct(*next, ")")) {
+                checked.insert(t.text);
+                continue;
+            }
+            if (prev != nullptr && (is_punct(*prev, "(") || is_punct(*prev, ",")) &&
+                next != nullptr && (is_punct(*next, ")") || is_punct(*next, ","))) {
+                checked.insert(t.text);
+            }
+        }
+        for (const auto& [name, line] : decl_line) {
+            if (written.count(name) != 0 && checked.count(name) == 0) {
+                flag(line, "unchecked-write",
+                     "std::ofstream `" + name +
+                         "` is written but its stream state is never checked — a full disk "
+                         "truncates the file silently; test !" +
+                         name + " (or .good()/.fail()) after writing, or use "
+                                "sim::csv_writer / sim::atomic_write_file");
+            }
         }
     }
 
