@@ -114,13 +114,22 @@ void run(const sim::run_options& opts) {
     bench::banner("E12", "distributional ingredients: Eq. 4, Lemma 3.2, Cor 3.6",
                   "tail exponent alpha-1; path marginals in the lemma band; per-phase "
                   "visit probability 1/d^alpha");
-    jump_tail(opts);
-    path_band(opts);
-    phase_visit(opts);
+    {
+        LEVY_SPAN("jump_tail");
+        jump_tail(opts);
+    }
+    {
+        LEVY_SPAN("path_band");
+        path_band(opts);
+    }
+    {
+        LEVY_SPAN("phase_visit");
+        phase_visit(opts);
+    }
     std::cout << "\nReading: all three measured exponents/bands should match the paper's\n"
                  "predictions to within sampling noise.\n";
 }
 
 }  // namespace
 
-int main(int argc, char** argv) { return levy::bench::run_main(argc, argv, run); }
+int main(int argc, char** argv) { return levy::bench::run_main("E12", argc, argv, run); }

@@ -44,6 +44,7 @@ void run(const sim::run_options& opts) {
     stats::text_table table({"alpha", "t", "median max-displacement", "growth fit",
                              "paper exponent"});
     for (const double alpha : alphas) {
+        LEVY_SPAN("alpha_sweep");
         std::vector<double> xs, ys;
         for (const std::uint64_t t : ts) {
             const auto mc = opts.mc(/*default_trials=*/200,
@@ -70,4 +71,4 @@ void run(const sim::run_options& opts) {
 
 }  // namespace
 
-int main(int argc, char** argv) { return levy::bench::run_main(argc, argv, run); }
+int main(int argc, char** argv) { return levy::bench::run_main("E13", argc, argv, run); }

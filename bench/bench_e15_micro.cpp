@@ -7,7 +7,18 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
 #include "src/baselines/simple_random_walk.h"
+#include "src/obs/report.h"
+#include "src/obs/trace.h"
+#include "src/sim/monte_carlo.h"
+#include "src/stats/table.h"
 #include "src/core/levy_flight.h"
 #include "src/core/levy_walk.h"
 #include "src/grid/direct_path.h"
@@ -80,6 +91,85 @@ void BM_SimpleRandomWalkStep(benchmark::State& state) {
 }
 BENCHMARK(BM_SimpleRandomWalkStep);
 
+/// ConsoleReporter that additionally records every run as a table row, so
+/// E15's numbers land in the same structured BENCH_E15.json schema as the
+/// run_main-based benches (Google Benchmark owns main-loop control here, so
+/// E15 cannot go through bench_util's run_main).
+class capturing_reporter : public benchmark::ConsoleReporter {
+public:
+    void ReportRuns(const std::vector<Run>& report) override {
+        for (const Run& run : report) {
+            rows_.push_back({run.benchmark_name(), std::to_string(run.iterations),
+                             std::to_string(run.GetAdjustedRealTime()),
+                             std::to_string(run.GetAdjustedCPUTime())});
+        }
+        ConsoleReporter::ReportRuns(report);
+    }
+
+    [[nodiscard]] const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
+private:
+    std::vector<std::vector<std::string>> rows_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+    // Peel off the levy observability flags before Google Benchmark sees
+    // (and rejects) them; everything else passes through untouched.
+    std::string json_path;
+    std::string trace_path;
+    std::vector<char*> passthrough;
+    std::vector<std::pair<std::string, std::string>> options;
+    for (int i = 0; i < argc; ++i) {
+        const std::string_view arg = argv[i];
+        const auto value_of = [&](std::string_view flag) -> std::string {
+            if (arg.size() > flag.size() + 1 && arg.substr(0, flag.size()) == flag &&
+                arg[flag.size()] == '=') {
+                return std::string(arg.substr(flag.size() + 1));
+            }
+            return {};
+        };
+        if (auto v = value_of("--json"); !v.empty()) {
+            json_path = v == "-" ? std::string{} : v;
+            options.emplace_back("json", v);
+        } else if (auto d = value_of("--json-dir"); !d.empty()) {
+            if (json_path.empty()) json_path = d + "/BENCH_E15.json";
+            options.emplace_back("json-dir", d);
+        } else if (auto t = value_of("--trace"); !t.empty()) {
+            trace_path = t;
+            options.emplace_back("trace", t);
+        } else {
+            passthrough.push_back(argv[i]);
+        }
+    }
+    int bench_argc = static_cast<int>(passthrough.size());
+    benchmark::Initialize(&bench_argc, passthrough.data());
+    if (benchmark::ReportUnrecognizedArguments(bench_argc, passthrough.data())) return 1;
+
+    const bool observing = !json_path.empty() || !trace_path.empty();
+    if (observing) levy::obs::start_span_collection();
+    if (!json_path.empty()) levy::obs::begin_report("E15", std::move(options));
+
+    capturing_reporter reporter;
+    benchmark::RunSpecifiedBenchmarks(&reporter);
+    benchmark::Shutdown();
+
+    if (observing) levy::obs::stop_span_collection();
+    if (!json_path.empty()) {
+        // Feed captured runs through the table observer so they land as the
+        // report's rows; a string sink keeps stdout byte-identical.
+        levy::stats::text_table table({"benchmark", "iterations", "real_ns", "cpu_ns"});
+        for (const auto& row : reporter.rows()) table.add_row(row);
+        std::ostringstream sink;
+        table.print(sink);
+        levy::obs::write_report(json_path, levy::sim::metrics_snapshot());
+        levy::obs::end_report();
+        std::cerr << "E15: wrote " << json_path << '\n';
+    }
+    if (!trace_path.empty()) {
+        levy::obs::write_chrome_trace(trace_path);
+        std::cerr << "E15: wrote " << trace_path << '\n';
+    }
+    return 0;
+}

@@ -78,4 +78,4 @@ void run(const sim::run_options& opts) {
 
 }  // namespace
 
-int main(int argc, char** argv) { return levy::bench::run_main(argc, argv, run); }
+int main(int argc, char** argv) { return levy::bench::run_main("E16", argc, argv, run); }

@@ -97,4 +97,4 @@ void run(const sim::run_options& opts) {
 
 }  // namespace
 
-int main(int argc, char** argv) { return levy::bench::run_main(argc, argv, run); }
+int main(int argc, char** argv) { return levy::bench::run_main("E19", argc, argv, run); }

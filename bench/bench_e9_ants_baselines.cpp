@@ -96,8 +96,14 @@ void run(const sim::run_options& opts) {
                   "random-exponent Levy walks are within polylog of the Omega(ell^2/k + ell) "
                   "lower bound, with zero knowledge; SRWs pay extra log factors, ballistic "
                   "walks rarely hit, FK is the informed yardstick");
-    compare(opts, /*k=*/16, bench::scaled(32, opts.scale));
-    compare(opts, /*k=*/64, bench::scaled(192, opts.scale));
+    {
+        LEVY_SPAN("compare_k16");
+        compare(opts, /*k=*/16, bench::scaled(32, opts.scale));
+    }
+    {
+        LEVY_SPAN("compare_k64");
+        compare(opts, /*k=*/64, bench::scaled(192, opts.scale));
+    }
     std::cout << "Reading: Levy U(2,3) stays competitive with FK (which knows k) at both\n"
                  "distances with zero knowledge; ballistic hit rates collapse with ell;\n"
                  "SRW fleets trail by the extra log factors they pay for retracing their\n"
@@ -106,4 +112,4 @@ void run(const sim::run_options& opts) {
 
 }  // namespace
 
-int main(int argc, char** argv) { return levy::bench::run_main(argc, argv, run); }
+int main(int argc, char** argv) { return levy::bench::run_main("E9", argc, argv, run); }

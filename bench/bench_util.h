@@ -4,8 +4,9 @@
 // validates one statement of the paper: it prints the claim, sweeps the
 // statement's parameters, and emits a paper-vs-measured table plus one
 // throughput line (trials/s and worker utilization on the persistent pool).
-// All binaries accept --trials/--scale/--threads/--chunk/--seed/--csv (see
-// sim::run_options) and run with fast defaults suitable for
+// All binaries accept --trials/--scale/--threads/--chunk/--seed/--csv plus
+// the observability flags --json/--json-dir/--trace (see sim::run_options)
+// and run with fast defaults suitable for
 // `for b in build/bench/*; do $b; done`.
 
 #include <cstdint>
@@ -17,6 +18,8 @@
 
 #include "src/core/hitting.h"
 #include "src/core/parallel_search.h"
+#include "src/obs/report.h"
+#include "src/obs/trace.h"
 #include "src/rng/rng_stream.h"
 #include "src/sim/experiment.h"
 #include "src/sim/monte_carlo.h"
@@ -32,17 +35,42 @@ inline void banner(const std::string& id, const std::string& statement,
 }
 
 /// Wrap a bench main: parse options, run, convert exceptions to exit codes.
+/// `id` is the experiment tag ("E12"); it names the structured JSON sink
+/// (BENCH_<id>.json under --json-dir) and the "experiment" field of its
+/// schema. With --json/--json-dir the bench's printed tables and metrics
+/// are additionally captured and written crash-safely; with --trace the
+/// LEVY_SPAN phases land as a Chrome trace file. JSON/trace notices go to
+/// stderr so stdout stays bit-identical with and without these flags (the
+/// resume-determinism CI job diffs stdout).
 /// With --checkpoint in effect, SIGTERM cancels cooperatively: completed
 /// trials are flushed to the journal and the process exits 130; rerunning
 /// with the same flags resumes and produces bit-identical output.
-inline int run_main(int argc, char** argv,
+inline int run_main(const std::string& id, int argc, char** argv,
                     const std::function<void(const sim::run_options&)>& body) {
     try {
         const auto opts = sim::parse_run_options(argc, argv);
         if (!opts.checkpoint_dir.empty()) sim::cancel_on_sigterm();
+        const std::string json_path = sim::default_json_path(opts, id);
+        const bool observing = !json_path.empty() || !opts.trace_path.empty();
+        if (observing) {
+            obs::start_span_collection();
+            if (!json_path.empty()) obs::begin_report(id, sim::describe_options(opts));
+        }
         body(opts);
         const auto metrics = sim::metrics_snapshot();
         if (metrics.trials > 0) std::cout << sim::format_throughput(metrics) << '\n';
+        if (observing) {
+            obs::stop_span_collection();
+            if (!json_path.empty()) {
+                obs::write_report(json_path, metrics);
+                obs::end_report();
+                std::cerr << id << ": wrote " << json_path << '\n';
+            }
+            if (!opts.trace_path.empty()) {
+                obs::write_chrome_trace(opts.trace_path);
+                std::cerr << id << ": wrote " << opts.trace_path << '\n';
+            }
+        }
         return 0;
     } catch (const sim::run_cancelled&) {
         std::cerr << argv[0]

@@ -1,0 +1,381 @@
+#include "src/obs/json.h"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace levy::obs {
+namespace {
+
+[[noreturn]] void kind_error(const char* want, json::kind got) {
+    static const char* names[] = {"null", "boolean", "number", "string", "array", "object"};
+    throw std::runtime_error(std::string("json: expected ") + want + ", have " +
+                             names[static_cast<int>(got)]);
+}
+
+void append_number(std::string& out, double v) {
+    if (!std::isfinite(v)) {
+        out += "null";  // JSON has no Inf/NaN; null is the conventional stand-in
+        return;
+    }
+    // Integers in the exactly-representable range print without a fraction,
+    // so counters and trial counts stay grep-able integers on disk.
+    // levylint:allow(float-equality) intentional exact check: floor(v) == v
+    // is the definition of "integral", no tolerance wanted
+    if (v == std::floor(v) && std::fabs(v) < 9.007199254740992e15) {
+        char buf[32];
+        const auto r = std::to_chars(buf, buf + sizeof(buf),
+                                     static_cast<long long>(v));
+        out.append(buf, r.ptr);
+        return;
+    }
+    char buf[64];
+    const auto r = std::to_chars(buf, buf + sizeof(buf), v);
+    out.append(buf, r.ptr);
+}
+
+class parser {
+public:
+    explicit parser(const std::string& text) : s_(text) {}
+
+    json run() {
+        json v = value();
+        skip_ws();
+        if (pos_ != s_.size()) fail("trailing characters after document");
+        return v;
+    }
+
+private:
+    [[noreturn]] void fail(const std::string& what) const {
+        throw std::runtime_error("json parse error at byte " + std::to_string(pos_) + ": " +
+                                 what);
+    }
+
+    void skip_ws() {
+        while (pos_ < s_.size() && (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
+                                    s_[pos_] == '\r')) {
+            ++pos_;
+        }
+    }
+
+    char peek() {
+        if (pos_ >= s_.size()) fail("unexpected end of input");
+        return s_[pos_];
+    }
+
+    void expect(char c) {
+        if (peek() != c) fail(std::string("expected '") + c + "'");
+        ++pos_;
+    }
+
+    bool literal(const char* word) {
+        const std::size_t n = std::char_traits<char>::length(word);
+        if (s_.compare(pos_, n, word) != 0) return false;
+        pos_ += n;
+        return true;
+    }
+
+    json value() {
+        skip_ws();
+        switch (peek()) {
+            case '{': return object();
+            case '[': return array();
+            case '"': return json(string());
+            case 't':
+                if (!literal("true")) fail("bad literal");
+                return json(true);
+            case 'f':
+                if (!literal("false")) fail("bad literal");
+                return json(false);
+            case 'n':
+                if (!literal("null")) fail("bad literal");
+                return json(nullptr);
+            default: return number();
+        }
+    }
+
+    json number() {
+        const std::size_t start = pos_;
+        if (peek() == '-') ++pos_;
+        while (pos_ < s_.size() &&
+               (std::isdigit(static_cast<unsigned char>(s_[pos_])) != 0 || s_[pos_] == '.' ||
+                s_[pos_] == 'e' || s_[pos_] == 'E' || s_[pos_] == '+' || s_[pos_] == '-')) {
+            ++pos_;
+        }
+        double v = 0.0;
+        const auto r = std::from_chars(s_.data() + start, s_.data() + pos_, v);
+        if (r.ec != std::errc{} || r.ptr != s_.data() + pos_ || pos_ == start) {
+            pos_ = start;
+            fail("malformed number");
+        }
+        return json(v);
+    }
+
+    void append_codepoint(std::string& out, unsigned cp) {
+        if (cp < 0x80) {
+            out += static_cast<char>(cp);
+        } else if (cp < 0x800) {
+            out += static_cast<char>(0xc0 | (cp >> 6));
+            out += static_cast<char>(0x80 | (cp & 0x3f));
+        } else {
+            out += static_cast<char>(0xe0 | (cp >> 12));
+            out += static_cast<char>(0x80 | ((cp >> 6) & 0x3f));
+            out += static_cast<char>(0x80 | (cp & 0x3f));
+        }
+    }
+
+    std::string string() {
+        expect('"');
+        std::string out;
+        for (;;) {
+            if (pos_ >= s_.size()) fail("unterminated string");
+            const char c = s_[pos_++];
+            if (c == '"') return out;
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos_ >= s_.size()) fail("unterminated escape");
+            const char e = s_[pos_++];
+            switch (e) {
+                case '"': out += '"'; break;
+                case '\\': out += '\\'; break;
+                case '/': out += '/'; break;
+                case 'b': out += '\b'; break;
+                case 'f': out += '\f'; break;
+                case 'n': out += '\n'; break;
+                case 'r': out += '\r'; break;
+                case 't': out += '\t'; break;
+                case 'u': {
+                    if (pos_ + 4 > s_.size()) fail("short \\u escape");
+                    unsigned cp = 0;
+                    for (int i = 0; i < 4; ++i) {
+                        const char h = s_[pos_++];
+                        cp <<= 4;
+                        if (h >= '0' && h <= '9') {
+                            cp |= static_cast<unsigned>(h - '0');
+                        } else if (h >= 'a' && h <= 'f') {
+                            cp |= static_cast<unsigned>(h - 'a' + 10);
+                        } else if (h >= 'A' && h <= 'F') {
+                            cp |= static_cast<unsigned>(h - 'A' + 10);
+                        } else {
+                            fail("bad hex digit in \\u escape");
+                        }
+                    }
+                    append_codepoint(out, cp);
+                    break;
+                }
+                default: fail("unknown escape");
+            }
+        }
+    }
+
+    json array() {
+        expect('[');
+        json out = json::array();
+        skip_ws();
+        if (peek() == ']') {
+            ++pos_;
+            return out;
+        }
+        for (;;) {
+            out.push_back(value());
+            skip_ws();
+            const char c = peek();
+            ++pos_;
+            if (c == ']') return out;
+            if (c != ',') fail("expected ',' or ']'");
+        }
+    }
+
+    json object() {
+        expect('{');
+        json out = json::object();
+        skip_ws();
+        if (peek() == '}') {
+            ++pos_;
+            return out;
+        }
+        for (;;) {
+            skip_ws();
+            std::string key = string();
+            skip_ws();
+            expect(':');
+            out.set(key, value());
+            skip_ws();
+            const char c = peek();
+            ++pos_;
+            if (c == '}') return out;
+            if (c != ',') fail("expected ',' or '}'");
+        }
+    }
+
+    const std::string& s_;
+    std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+json json::array() {
+    json j;
+    j.kind_ = kind::array;
+    return j;
+}
+
+json json::object() {
+    json j;
+    j.kind_ = kind::object;
+    return j;
+}
+
+bool json::as_bool() const {
+    if (kind_ != kind::boolean) kind_error("boolean", kind_);
+    return bool_;
+}
+
+double json::as_number() const {
+    if (kind_ != kind::number) kind_error("number", kind_);
+    return num_;
+}
+
+const std::string& json::as_string() const {
+    if (kind_ != kind::string) kind_error("string", kind_);
+    return str_;
+}
+
+std::size_t json::size() const noexcept {
+    if (kind_ == kind::array) return arr_.size();
+    if (kind_ == kind::object) return obj_.size();
+    return 0;
+}
+
+const json& json::at(std::size_t i) const {
+    if (kind_ != kind::array) kind_error("array", kind_);
+    if (i >= arr_.size()) throw std::out_of_range("json: array index out of range");
+    return arr_[i];
+}
+
+void json::push_back(json v) {
+    if (kind_ == kind::null) kind_ = kind::array;
+    if (kind_ != kind::array) kind_error("array", kind_);
+    arr_.push_back(std::move(v));
+}
+
+const json& json::at(const std::string& key) const {
+    const json* p = find(key);
+    if (p == nullptr) throw std::runtime_error("json: missing key \"" + key + "\"");
+    return *p;
+}
+
+const json* json::find(const std::string& key) const noexcept {
+    if (kind_ != kind::object) return nullptr;
+    for (const auto& [k, v] : obj_) {
+        if (k == key) return &v;
+    }
+    return nullptr;
+}
+
+bool json::contains(const std::string& key) const noexcept { return find(key) != nullptr; }
+
+void json::set(const std::string& key, json v) {
+    if (kind_ == kind::null) kind_ = kind::object;
+    if (kind_ != kind::object) kind_error("object", kind_);
+    for (auto& [k, existing] : obj_) {
+        if (k == key) {
+            existing = std::move(v);
+            return;
+        }
+    }
+    obj_.emplace_back(key, std::move(v));
+}
+
+const std::vector<std::pair<std::string, json>>& json::members() const {
+    if (kind_ != kind::object) kind_error("object", kind_);
+    return obj_;
+}
+
+const std::vector<json>& json::elements() const {
+    if (kind_ != kind::array) kind_error("array", kind_);
+    return arr_;
+}
+
+std::string json_escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\b': out += "\\b"; break;
+            case '\f': out += "\\f"; break;
+            case '\n': out += "\\n"; break;
+            case '\r': out += "\\r"; break;
+            case '\t': out += "\\t"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                    out += buf;
+                } else {
+                    out += c;
+                }
+        }
+    }
+    return out;
+}
+
+void json::dump_to(std::string& out, int indent, int depth) const {
+    const auto newline = [&](int d) {
+        if (indent <= 0) return;
+        out += '\n';
+        out.append(static_cast<std::size_t>(indent * d), ' ');
+    };
+    switch (kind_) {
+        case kind::null: out += "null"; break;
+        case kind::boolean: out += bool_ ? "true" : "false"; break;
+        case kind::number: append_number(out, num_); break;
+        case kind::string:
+            out += '"';
+            out += json_escape(str_);
+            out += '"';
+            break;
+        case kind::array: {
+            out += '[';
+            for (std::size_t i = 0; i < arr_.size(); ++i) {
+                if (i != 0) out += ',';
+                newline(depth + 1);
+                arr_[i].dump_to(out, indent, depth + 1);
+            }
+            if (!arr_.empty()) newline(depth);
+            out += ']';
+            break;
+        }
+        case kind::object: {
+            out += '{';
+            for (std::size_t i = 0; i < obj_.size(); ++i) {
+                if (i != 0) out += ',';
+                newline(depth + 1);
+                out += '"';
+                out += json_escape(obj_[i].first);
+                out += "\":";
+                if (indent > 0) out += ' ';
+                obj_[i].second.dump_to(out, indent, depth + 1);
+            }
+            if (!obj_.empty()) newline(depth);
+            out += '}';
+            break;
+        }
+    }
+}
+
+std::string json::dump(int indent) const {
+    std::string out;
+    dump_to(out, indent, 0);
+    return out;
+}
+
+json json::parse(const std::string& text) { return parser(text).run(); }
+
+}  // namespace levy::obs

@@ -1,0 +1,95 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace levy::obs {
+
+/// Minimal JSON document model for the observability layer: enough to emit
+/// the BENCH_*.json schema and Chrome trace files, and to load them back in
+/// `levyreport` — stdlib-only, no external dependency.
+///
+/// Determinism: objects preserve key *insertion* order (they are stored as
+/// an ordered vector, not a hash map), and numbers serialize via
+/// std::to_chars shortest-round-trip, so the same document always dumps to
+/// the same bytes.
+class json {
+public:
+    enum class kind { null, boolean, number, string, array, object };
+
+    json() noexcept : kind_(kind::null) {}
+    json(std::nullptr_t) noexcept : kind_(kind::null) {}
+    json(bool b) noexcept : kind_(kind::boolean), bool_(b) {}
+    json(double v) noexcept : kind_(kind::number), num_(v) {}
+    /// Any integer type (one template rather than an overload set, so e.g.
+    /// `unsigned` never faces an ambiguous int/int64/uint64 choice).
+    template <class T>
+        requires(std::is_integral_v<T> && !std::is_same_v<T, bool>)
+    json(T v) noexcept : kind_(kind::number), num_(static_cast<double>(v)) {}
+    json(std::string s) noexcept : kind_(kind::string), str_(std::move(s)) {}
+    json(const char* s) : kind_(kind::string), str_(s) {}
+
+    [[nodiscard]] static json array();
+    [[nodiscard]] static json object();
+
+    [[nodiscard]] kind type() const noexcept { return kind_; }
+    [[nodiscard]] bool is_null() const noexcept { return kind_ == kind::null; }
+    [[nodiscard]] bool is_bool() const noexcept { return kind_ == kind::boolean; }
+    [[nodiscard]] bool is_number() const noexcept { return kind_ == kind::number; }
+    [[nodiscard]] bool is_string() const noexcept { return kind_ == kind::string; }
+    [[nodiscard]] bool is_array() const noexcept { return kind_ == kind::array; }
+    [[nodiscard]] bool is_object() const noexcept { return kind_ == kind::object; }
+
+    /// Value accessors; throw std::runtime_error on a kind mismatch.
+    [[nodiscard]] bool as_bool() const;
+    [[nodiscard]] double as_number() const;
+    [[nodiscard]] const std::string& as_string() const;
+
+    /// Array / object size; 0 for scalars.
+    [[nodiscard]] std::size_t size() const noexcept;
+
+    /// Array element access (throws std::out_of_range / kind mismatch).
+    [[nodiscard]] const json& at(std::size_t i) const;
+    /// Append to an array (converts a null value to an empty array first).
+    void push_back(json v);
+
+    /// Object field access: `at` throws when the key is missing, `find`
+    /// returns nullptr. `set` inserts or replaces, preserving first-insert
+    /// order (converts a null value to an empty object first).
+    [[nodiscard]] const json& at(const std::string& key) const;
+    [[nodiscard]] const json* find(const std::string& key) const noexcept;
+    [[nodiscard]] bool contains(const std::string& key) const noexcept;
+    void set(const std::string& key, json v);
+
+    /// Object members, in insertion order.
+    [[nodiscard]] const std::vector<std::pair<std::string, json>>& members() const;
+    /// Array elements.
+    [[nodiscard]] const std::vector<json>& elements() const;
+
+    /// Serialize. `indent == 0` is compact one-line output; otherwise
+    /// pretty-printed with that many spaces per level.
+    [[nodiscard]] std::string dump(int indent = 0) const;
+
+    /// Parse a complete JSON document (trailing garbage is an error).
+    /// Throws std::runtime_error with a byte offset on malformed input.
+    [[nodiscard]] static json parse(const std::string& text);
+
+private:
+    void dump_to(std::string& out, int indent, int depth) const;
+
+    kind kind_ = kind::null;
+    bool bool_ = false;
+    double num_ = 0.0;
+    std::string str_;
+    std::vector<json> arr_;
+    std::vector<std::pair<std::string, json>> obj_;
+};
+
+/// Escape `s` as the *contents* of a JSON string literal (no quotes added).
+[[nodiscard]] std::string json_escape(const std::string& s);
+
+}  // namespace levy::obs

@@ -1,0 +1,232 @@
+#include "src/obs/report.h"
+
+#include <map>
+#include <mutex>
+
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+#include "src/sim/checkpoint.h"
+#include "src/stats/table.h"
+
+#ifndef LEVY_GIT_DESCRIBE
+#define LEVY_GIT_DESCRIBE "unknown"
+#endif
+
+namespace levy::obs {
+namespace {
+
+struct captured_table {
+    std::vector<std::string> header;
+    std::vector<std::vector<std::string>> rows;
+};
+
+struct report_state {
+    std::mutex m;
+    bool active = false;
+    std::string experiment;
+    std::vector<std::pair<std::string, std::string>> options;
+    std::vector<captured_table> tables;
+};
+
+report_state& state() {
+    static report_state s;
+    return s;
+}
+
+json number_or_null(double v, bool defined) {
+    return defined ? json(v) : json(nullptr);
+}
+
+}  // namespace
+
+void begin_report(const std::string& experiment,
+                  std::vector<std::pair<std::string, std::string>> options) {
+    report_state& s = state();
+    std::lock_guard lk(s.m);
+    s.active = true;
+    s.experiment = experiment;
+    s.options = std::move(options);
+    s.tables.clear();
+    stats::set_table_print_observer([](const stats::text_table& t) {
+        report_state& st = state();
+        std::lock_guard lk2(st.m);
+        if (!st.active) return;
+        st.tables.push_back({t.header(), t.cell_rows()});
+    });
+}
+
+bool report_active() noexcept {
+    report_state& s = state();
+    std::lock_guard lk(s.m);
+    return s.active;
+}
+
+void end_report() {
+    report_state& s = state();
+    std::lock_guard lk(s.m);
+    s.active = false;
+    s.tables.clear();
+    stats::set_table_print_observer({});
+}
+
+json build_report(const sim::run_metrics& m) {
+    report_state& s = state();
+    std::lock_guard lk(s.m);
+
+    json doc = json::object();
+    doc.set("schema", "levy-bench");
+    doc.set("version", 1);
+    doc.set("experiment", s.experiment);
+    doc.set("git_describe", LEVY_GIT_DESCRIBE);
+
+    json options = json::object();
+    for (const auto& [flag, value] : s.options) options.set(flag, value);
+    doc.set("options", std::move(options));
+
+    json rows = json::array();
+    for (std::size_t t = 0; t < s.tables.size(); ++t) {
+        const captured_table& table = s.tables[t];
+        for (const auto& cells : table.rows) {
+            json row = json::object();
+            row.set("table", t);
+            json values = json::object();
+            for (std::size_t c = 0; c < cells.size() && c < table.header.size(); ++c) {
+                values.set(table.header[c], cells[c]);
+            }
+            row.set("values", std::move(values));
+            rows.push_back(std::move(row));
+        }
+    }
+    doc.set("rows", std::move(rows));
+
+    json metrics = json::object();
+    metrics.set("trials", m.trials);
+    metrics.set("wall_seconds", m.wall_seconds);
+    metrics.set("busy_seconds", m.busy_seconds);
+    metrics.set("max_workers", m.max_workers);
+    metrics.set("trials_per_sec", m.trials_per_sec());
+    const bool has_capacity = m.wall_seconds * static_cast<double>(m.max_workers) > 0.0;
+    metrics.set("utilization", number_or_null(m.utilization(), has_capacity));
+    metrics.set("censored", m.censored);
+
+    const metrics_view view = snapshot_metrics();
+    json counters = json::object();
+    for (const auto& [name, value] : view.counters) counters.set(name, value);
+    metrics.set("counters", std::move(counters));
+    json gauges = json::object();
+    for (const auto& [name, value] : view.gauges) gauges.set(name, value);
+    metrics.set("gauges", std::move(gauges));
+
+    // Aggregate spans by name (name-sorted for output determinism); a phase
+    // that runs several times reports its total wall/busy and a count.
+    struct span_agg {
+        std::uint64_t count = 0;
+        double wall = 0.0;
+        double busy = 0.0;
+    };
+    std::map<std::string, span_agg> by_name;
+    for (const span_record& rec : collected_spans()) {
+        span_agg& a = by_name[rec.name];
+        ++a.count;
+        a.wall += rec.wall_seconds;
+        a.busy += rec.busy_seconds;
+    }
+    json spans = json::array();
+    for (const auto& [name, agg] : by_name) {
+        json span = json::object();
+        span.set("name", name);
+        span.set("count", agg.count);
+        span.set("wall_seconds", agg.wall);
+        span.set("busy_seconds", agg.busy);
+        spans.push_back(std::move(span));
+    }
+    metrics.set("per_phase_spans", std::move(spans));
+
+    doc.set("metrics", std::move(metrics));
+    return doc;
+}
+
+void write_report(const std::string& path, const sim::run_metrics& m) {
+    const std::string text = build_report(m).dump(2) + "\n";
+    sim::atomic_write_file(path, std::vector<char>(text.begin(), text.end()));
+}
+
+std::vector<std::string> validate_bench_json(const json& doc) {
+    std::vector<std::string> errors;
+    const auto err = [&](const std::string& msg) { errors.push_back(msg); };
+
+    if (!doc.is_object()) {
+        err("document is not a JSON object");
+        return errors;
+    }
+    const auto require = [&](const char* key, bool ok, const char* what) {
+        if (!ok) err(std::string("\"") + key + "\" " + what);
+    };
+
+    const json* schema = doc.find("schema");
+    require("schema", schema != nullptr && schema->is_string() &&
+                          schema->as_string() == "levy-bench",
+            "must be the string \"levy-bench\"");
+    const json* version = doc.find("version");
+    require("version", version != nullptr && version->is_number() && version->as_number() == 1,
+            "must be the number 1");
+    const json* experiment = doc.find("experiment");
+    require("experiment",
+            experiment != nullptr && experiment->is_string() && !experiment->as_string().empty(),
+            "must be a non-empty string");
+    const json* git = doc.find("git_describe");
+    require("git_describe", git != nullptr && git->is_string(), "must be a string");
+    const json* options = doc.find("options");
+    require("options", options != nullptr && options->is_object(), "must be an object");
+
+    const json* rows = doc.find("rows");
+    if (rows == nullptr || !rows->is_array()) {
+        err("\"rows\" must be an array");
+    } else {
+        for (std::size_t i = 0; i < rows->size(); ++i) {
+            const json& row = rows->at(i);
+            if (!row.is_object() || !row.contains("values") || !row.at("values").is_object()) {
+                err("rows[" + std::to_string(i) + "] must be an object with a \"values\" object");
+                break;  // one message per malformed shape is enough
+            }
+        }
+    }
+
+    const json* metrics = doc.find("metrics");
+    if (metrics == nullptr || !metrics->is_object()) {
+        err("\"metrics\" must be an object");
+        return errors;
+    }
+    const auto metric_number = [&](const char* key) {
+        const json* field = metrics->find(key);
+        if (field == nullptr || !field->is_number()) {
+            err(std::string("metrics.") + key + " must be a number");
+        }
+    };
+    metric_number("trials");
+    metric_number("trials_per_sec");
+    metric_number("censored");
+    const json* util = metrics->find("utilization");
+    if (util == nullptr || !(util->is_number() || util->is_null())) {
+        err("metrics.utilization must be a number or null");
+    }
+    const json* spans = metrics->find("per_phase_spans");
+    if (spans == nullptr || !spans->is_array()) {
+        err("metrics.per_phase_spans must be an array");
+    } else {
+        for (std::size_t i = 0; i < spans->size(); ++i) {
+            const json& span = spans->at(i);
+            const bool ok = span.is_object() && span.contains("name") &&
+                            span.at("name").is_string() && span.contains("wall_seconds") &&
+                            span.at("wall_seconds").is_number();
+            if (!ok) {
+                err("metrics.per_phase_spans[" + std::to_string(i) +
+                    "] must have a string \"name\" and numeric \"wall_seconds\"");
+                break;
+            }
+        }
+    }
+    return errors;
+}
+
+}  // namespace levy::obs

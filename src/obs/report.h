@@ -1,0 +1,71 @@
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/obs/json.h"
+#include "src/sim/monte_carlo.h"
+
+namespace levy::obs {
+
+/// --- Structured bench results sink ----------------------------------------
+///
+/// `begin_report` opens the process-wide report for one experiment and
+/// installs a stats::text_table print observer, so every table a bench
+/// prints is also captured as structured rows — benches need no changes
+/// beyond passing their experiment id to run_main. `write_report` builds
+/// the schema-v1 document and lands it through the crash-safe writer
+/// (tmp + fsync + rename), so a killed run never leaves a torn JSON.
+///
+/// Schema v1 (validated by `validate_bench_json` and `levyreport --check`):
+///
+///   {
+///     "schema": "levy-bench",
+///     "version": 1,
+///     "experiment": "E12",
+///     "git_describe": "<git describe --always --dirty, or 'unknown'>",
+///     "options": { "<flag>": "<value>", ... },
+///     "rows": [ { "table": 0, "values": { "<column>": "<cell>", ... } } ],
+///     "metrics": {
+///       "trials": N, "wall_seconds": s, "busy_seconds": s,
+///       "max_workers": W, "trials_per_sec": r,
+///       "utilization": u | null,       // null when no parallel work ran
+///       "censored": C,
+///       "counters": { "<name>": N, ... },
+///       "gauges": { "<name>": v, ... },
+///       "per_phase_spans": [ { "name": "...", "count": N,
+///                              "wall_seconds": s, "busy_seconds": s } ]
+///     }
+///   }
+///
+/// Compatibility rule: within version 1, fields are only ever *added*;
+/// consumers must ignore unknown keys. Removing or re-typing a field bumps
+/// "version".
+
+/// Open the report and start capturing printed tables. Options are
+/// (flag, value) pairs as the user would re-type them.
+void begin_report(const std::string& experiment,
+                  std::vector<std::pair<std::string, std::string>> options);
+
+[[nodiscard]] bool report_active() noexcept;
+
+/// Build the schema-v1 document from everything captured since
+/// begin_report, plus the run's Monte-Carlo metrics, the obs registry
+/// snapshot, and per-phase span aggregates.
+[[nodiscard]] json build_report(const sim::run_metrics& m);
+
+/// build_report + atomic write of `dump(2)` to `path`. Throws
+/// std::runtime_error on I/O failure.
+void write_report(const std::string& path, const sim::run_metrics& m);
+
+/// Close the report and uninstall the table observer (write_report does
+/// not, so a bench may write to several sinks). Safe when inactive.
+void end_report();
+
+/// Validate a parsed document against schema v1. Returns one message per
+/// problem; empty means valid. Unknown keys are allowed (see the
+/// compatibility rule above).
+[[nodiscard]] std::vector<std::string> validate_bench_json(const json& doc);
+
+}  // namespace levy::obs

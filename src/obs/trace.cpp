@@ -1,0 +1,128 @@
+#include "src/obs/trace.h"
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <utility>
+
+#include "src/obs/json.h"
+#include "src/sim/checkpoint.h"
+#include "src/sim/monte_carlo.h"
+
+namespace levy::obs {
+namespace {
+
+using clock = std::chrono::steady_clock;
+
+std::atomic<bool> g_collecting{false};
+
+struct span_store {
+    std::mutex m;
+    std::vector<span_record> spans;
+    clock::time_point epoch{};
+    unsigned next_tid = 0;
+};
+
+/// Leaked for the same reason as the metrics registry: a span on a detached
+/// worker may close during static destruction.
+span_store& store() {
+    static span_store* s = new span_store;
+    return *s;
+}
+
+struct thread_state {
+    unsigned tid = 0;
+    bool tid_assigned = false;
+    unsigned open_depth = 0;
+};
+
+thread_state& tls() {
+    thread_local thread_state t;
+    return t;
+}
+
+double seconds_since_epoch(clock::time_point now) {
+    return std::chrono::duration<double>(now - store().epoch).count();
+}
+
+}  // namespace
+
+void start_span_collection() {
+    span_store& s = store();
+    std::lock_guard lk(s.m);
+    s.spans.clear();
+    s.epoch = clock::now();
+    g_collecting.store(true, std::memory_order_release);
+}
+
+void stop_span_collection() { g_collecting.store(false, std::memory_order_release); }
+
+bool collecting_spans() noexcept { return g_collecting.load(std::memory_order_acquire); }
+
+std::vector<span_record> collected_spans() {
+    span_store& s = store();
+    std::lock_guard lk(s.m);
+    return s.spans;
+}
+
+span::span(const char* name) : name_(name) {
+    if (!collecting_spans()) return;
+    active_ = true;
+    thread_state& t = tls();
+    depth_ = t.open_depth++;
+    start_seconds_ = seconds_since_epoch(clock::now());
+    busy_at_start_ = sim::metrics_snapshot().busy_seconds;
+}
+
+span::~span() {
+    if (!active_) return;
+    // Destructors must not throw; if the store is unreachable or allocation
+    // fails, losing the span is the right failure mode.
+    try {
+        const double end = seconds_since_epoch(clock::now());
+        const double busy_end = sim::metrics_snapshot().busy_seconds;
+        span_record rec;
+        rec.name = name_;
+        rec.start_seconds = start_seconds_;
+        rec.wall_seconds = end - start_seconds_;
+        rec.busy_seconds = busy_end - busy_at_start_;
+        rec.depth = depth_;
+        span_store& s = store();
+        std::lock_guard lk(s.m);
+        thread_state& t = tls();
+        if (!t.tid_assigned) {
+            t.tid = s.next_tid++;
+            t.tid_assigned = true;
+        }
+        rec.tid = t.tid;
+        s.spans.push_back(std::move(rec));
+    } catch (...) {
+        // swallow: tracing is best-effort observability
+    }
+    tls().open_depth = depth_;
+}
+
+void write_chrome_trace(const std::string& path) {
+    json events = json::array();
+    for (const span_record& rec : collected_spans()) {
+        json ev = json::object();
+        ev.set("name", rec.name);
+        ev.set("ph", "X");  // complete event: begin timestamp + duration
+        ev.set("ts", rec.start_seconds * 1e6);
+        ev.set("dur", rec.wall_seconds * 1e6);
+        ev.set("pid", 0);
+        ev.set("tid", rec.tid);
+        json args = json::object();
+        args.set("busy_seconds", rec.busy_seconds);
+        args.set("depth", rec.depth);
+        ev.set("args", std::move(args));
+        events.push_back(std::move(ev));
+    }
+    json doc = json::object();
+    doc.set("traceEvents", std::move(events));
+    doc.set("displayTimeUnit", "ms");
+    const std::string text = doc.dump(2) + "\n";
+    sim::atomic_write_file(path, std::vector<char>(text.begin(), text.end()));
+}
+
+}  // namespace levy::obs

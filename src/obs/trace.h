@@ -1,0 +1,67 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace levy::obs {
+
+/// One completed tracing span.
+struct span_record {
+    std::string name;
+    double start_seconds = 0.0;  ///< since collection started
+    double wall_seconds = 0.0;
+    /// Worker busy time accumulated by the Monte-Carlo pool while the span
+    /// was open (sim::metrics_snapshot delta) — wall tells you how long a
+    /// phase took, busy tells you how much of it was parallel trial work.
+    double busy_seconds = 0.0;
+    unsigned tid = 0;   ///< stable small per-thread index
+    unsigned depth = 0; ///< nesting depth on its thread (0 = outermost)
+};
+
+/// --- Span collection ------------------------------------------------------
+///
+/// Off by default: `LEVY_SPAN("phase")` costs one relaxed atomic load when
+/// collection is disabled. `start_span_collection()` (called by run_main
+/// when --trace or --json is in effect) clears the store and starts
+/// recording; completed spans land in a mutex-guarded store in completion
+/// order. Span *timings* are wall-clock and therefore not deterministic,
+/// but they are observability output, never experiment results.
+
+void start_span_collection();
+void stop_span_collection();
+[[nodiscard]] bool collecting_spans() noexcept;
+
+/// Completed spans, in completion order.
+[[nodiscard]] std::vector<span_record> collected_spans();
+
+/// Write every collected span as a Chrome trace-event JSON file
+/// (chrome://tracing / Perfetto "X" complete events, microsecond
+/// timestamps) through the crash-safe atomic writer. Throws
+/// std::runtime_error on I/O failure.
+void write_chrome_trace(const std::string& path);
+
+/// RAII span: records wall/busy time from construction to destruction.
+/// Inactive (and free beyond the flag check) when collection is off.
+class span {
+public:
+    explicit span(const char* name);
+    span(const span&) = delete;
+    span& operator=(const span&) = delete;
+    ~span();
+
+private:
+    const char* name_;
+    bool active_ = false;
+    unsigned depth_ = 0;
+    double start_seconds_ = 0.0;
+    double busy_at_start_ = 0.0;
+};
+
+}  // namespace levy::obs
+
+#define LEVY_OBS_CONCAT_IMPL(a, b) a##b
+#define LEVY_OBS_CONCAT(a, b) LEVY_OBS_CONCAT_IMPL(a, b)
+
+/// Open a tracing span for the rest of the enclosing scope.
+#define LEVY_SPAN(name) \
+    ::levy::obs::span LEVY_OBS_CONCAT(levy_obs_span_, __COUNTER__)(name)

@@ -15,6 +15,7 @@
 #endif
 
 #include "src/core/contracts.h"
+#include "src/obs/metrics.h"
 #include "src/sim/fault.h"
 
 namespace levy::sim {
@@ -179,6 +180,7 @@ std::vector<std::size_t> trial_journal::restore(void* results_base) {
             missing.push_back(static_cast<std::size_t>(i));
         }
     }
+    obs::get_counter("mc.trials_restored").add(records_.size());
     return missing;
 }
 
@@ -228,7 +230,18 @@ void trial_journal::flush_locked() {
     // loader to recover from.
     const bool injected = fault_on_checkpoint_flush(flush_ordinal_, bytes);
     ++flush_ordinal_;
+    static const obs::counter flushes = obs::get_counter("checkpoint.flushes");
+    static const obs::counter flushed_bytes = obs::get_counter("checkpoint.bytes");
+    static const obs::histogram_metric flush_ns =
+        obs::get_histogram("checkpoint.flush_ns", {});  // log2 nanosecond buckets
+    const auto flush_start = std::chrono::steady_clock::now();
     atomic_write_file(path_, bytes);
+    flushes.add();
+    flushed_bytes.add(bytes.size());
+    flush_ns.observe_u64(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(std::chrono::steady_clock::now() -
+                                                             flush_start)
+            .count()));
     if (injected) {
         dead_ = true;
         return;

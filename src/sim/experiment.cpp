@@ -16,6 +16,7 @@
 #endif
 
 #include "src/core/contracts.h"
+#include "src/obs/metrics.h"
 #include "src/rng/splitmix64.h"
 
 namespace levy::sim {
@@ -74,8 +75,12 @@ std::string format_throughput(const run_metrics& m) {
     out.precision(3);
     out << "throughput: " << m.trials << " trials in " << m.wall_seconds << " s ("
         << static_cast<std::uint64_t>(m.trials_per_sec()) << " trials/s, " << m.max_workers
-        << (m.max_workers == 1 ? " worker" : " workers") << ", "
-        << static_cast<int>(m.utilization() * 100.0 + 0.5) << "% utilization)";
+        << (m.max_workers == 1 ? " worker" : " workers") << ", ";
+    if (m.wall_seconds * static_cast<double>(m.max_workers) > 0.0) {
+        out << static_cast<int>(m.utilization() * 100.0 + 0.5) << "% utilization)";
+    } else {
+        out << "utilization n/a)";
+    }
     if (m.censored > 0) {
         out << " [" << m.censored << " censored by --max-steps-per-trial]";
     }
@@ -120,20 +125,60 @@ run_options parse_run_options(int argc, char** argv) {
             opts.checkpoint_interval = parse_number<std::size_t>(n, "checkpoint-interval");
         } else if (auto m = eat("--max-steps-per-trial"); !m.empty()) {
             opts.max_trial_steps = parse_number<std::uint64_t>(m, "max-steps-per-trial");
+        } else if (auto j = eat("--json"); !j.empty()) {
+            opts.json_path = std::string(j);
+        } else if (auto jd = eat("--json-dir"); !jd.empty()) {
+            opts.json_dir = std::string(jd);
+        } else if (auto tr = eat("--trace"); !tr.empty()) {
+            opts.trace_path = std::string(tr);
         } else if (arg == "--help" || arg == "-h") {
             throw std::invalid_argument(
                 "usage: [--trials=N] [--scale=S] [--threads=T] [--chunk=C] [--seed=X] "
                 "[--csv=PATH] [--checkpoint=DIR] [--checkpoint-interval=K] "
-                "[--max-steps-per-trial=M]");
+                "[--max-steps-per-trial=M] [--json=PATH|-] [--json-dir=DIR] [--trace=PATH]");
         } else {
             throw std::invalid_argument("unknown argument: " + std::string(arg));
         }
     }
+    obs::get_counter("cli.flags_parsed").add(seen.size());
     if (!(opts.scale > 0.0)) throw std::invalid_argument("--scale must be positive");
     if (opts.checkpoint_interval == 0) {
         throw std::invalid_argument("--checkpoint-interval must be >= 1");
     }
     return opts;
+}
+
+std::string default_json_path(const run_options& opts, const std::string& id) {
+    if (opts.json_path == "-") return {};
+    if (!opts.json_path.empty()) return opts.json_path;
+    if (!opts.json_dir.empty()) return opts.json_dir + "/BENCH_" + id + ".json";
+    return {};
+}
+
+std::vector<std::pair<std::string, std::string>> describe_options(const run_options& opts) {
+    std::vector<std::pair<std::string, std::string>> out;
+    // Every flag is recorded, defaults included, so a result document is
+    // self-describing without the reader knowing the defaults of the build
+    // that wrote it.
+    out.emplace_back("trials", std::to_string(opts.trials));
+    {
+        std::ostringstream s;
+        s << opts.scale;
+        out.emplace_back("scale", s.str());
+    }
+    out.emplace_back("threads", std::to_string(opts.threads));
+    out.emplace_back("chunk", std::to_string(opts.chunk));
+    out.emplace_back("seed", "0x" + hex64(opts.seed));
+    if (!opts.csv_path.empty()) out.emplace_back("csv", opts.csv_path);
+    if (!opts.checkpoint_dir.empty()) {
+        out.emplace_back("checkpoint", opts.checkpoint_dir);
+        out.emplace_back("checkpoint-interval", std::to_string(opts.checkpoint_interval));
+    }
+    if (opts.max_trial_steps != 0) {
+        out.emplace_back("max-steps-per-trial", std::to_string(opts.max_trial_steps));
+    }
+    if (!opts.trace_path.empty()) out.emplace_back("trace", opts.trace_path);
+    return out;
 }
 
 csv_writer::csv_writer(const std::string& path) : path_(path) {

@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/sim/monte_carlo.h"
@@ -25,6 +26,13 @@ namespace levy::sim {
 ///   --max-steps-per-trial=M watchdog: hard per-trial step cap; truncated
 ///                           trials are reported as censored, never silently
 ///                           folded into the statistics (0 = no cap)
+///   --json=PATH             write the structured result document
+///                           (schema "levy-bench" v1: options, table rows,
+///                           metrics, per-phase spans) to PATH, crash-safe
+///   --json-dir=DIR          like --json, but named BENCH_<id>.json in DIR
+///                           ("--json=-" disables an inherited --json-dir)
+///   --trace=PATH            write collected LEVY_SPAN phases as a Chrome
+///                           trace-event file (chrome://tracing / Perfetto)
 /// Unknown arguments, malformed/empty values, and duplicated flags all
 /// throw, so typos fail loudly.
 struct run_options {
@@ -37,6 +45,9 @@ struct run_options {
     std::string checkpoint_dir;            ///< empty = no checkpointing
     std::size_t checkpoint_interval = 256; ///< journal flush cadence (trials)
     std::uint64_t max_trial_steps = 0;     ///< watchdog step cap (0 = off)
+    std::string json_path;                 ///< --json ("-" = explicitly off)
+    std::string json_dir;                  ///< --json-dir (empty = off)
+    std::string trace_path;                ///< --trace (empty = off)
 
     /// mc_options with this run's trials (or `default_trials` when the user
     /// didn't override) and a per-use salt so distinct experiment phases in
@@ -48,6 +59,16 @@ struct run_options {
 };
 
 [[nodiscard]] run_options parse_run_options(int argc, char** argv);
+
+/// Where the structured JSON for experiment `id` should land, resolving
+/// --json against --json-dir: an explicit --json wins ("-" disables);
+/// otherwise --json-dir gives DIR/BENCH_<id>.json; empty means no JSON.
+[[nodiscard]] std::string default_json_path(const run_options& opts, const std::string& id);
+
+/// The options as (flag, value) pairs the user could re-type — the
+/// "options" object of the structured result document.
+[[nodiscard]] std::vector<std::pair<std::string, std::string>> describe_options(
+    const run_options& opts);
 
 /// Route SIGTERM into cooperative cancellation (request_cancel): the driver
 /// stops at the next trial boundary, flushes the checkpoint journal, and

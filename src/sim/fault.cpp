@@ -47,6 +47,8 @@ void fault_after_trial(std::size_t index) noexcept {
 bool fault_on_checkpoint_flush(std::size_t ordinal, std::vector<char>& bytes) noexcept {
     if (!fault_plan_active() || bytes.empty()) return false;
     if (ordinal == g_plan.short_write_flush) {
+        // levylint:allow(throwing-call-in-noexcept) shrink-only resize: the
+        // guard proves new size < current size, so no allocation can happen
         if (g_plan.short_write_bytes < bytes.size()) bytes.resize(g_plan.short_write_bytes);
         return true;
     }

@@ -4,6 +4,8 @@
 #include <atomic>
 #include <thread>
 
+#include "src/obs/metrics.h"
+
 namespace levy::sim {
 namespace {
 
@@ -35,8 +37,14 @@ unsigned resolve_threads(unsigned threads) noexcept {
 
 pool_metrics parallel_for(std::size_t n, unsigned threads,
                           const std::function<void(std::size_t)>& fn, std::size_t chunk) {
+    // Handles are resolved once; add() is a relaxed increment on this
+    // thread's shard, so instrumentation stays off the per-item hot path.
+    static const obs::counter phases = obs::get_counter("mc.phases");
+    static const obs::counter items = obs::get_counter("mc.items");
     const pool_metrics m = thread_pool::instance().run(n, resolve_threads(threads), chunk, fn);
     record_metrics(m);
+    phases.add();
+    items.add(m.items);
     return m;
 }
 

@@ -92,10 +92,12 @@ struct run_metrics {
     [[nodiscard]] double trials_per_sec() const noexcept {
         return wall_seconds > 0.0 ? static_cast<double>(trials) / wall_seconds : 0.0;
     }
-    /// Busy fraction of the workers' combined wall-clock capacity.
+    /// Busy fraction of the workers' combined wall-clock capacity; 0 when
+    /// no capacity was measured (no work ran) — a run that did nothing was
+    /// not "100% utilized".
     [[nodiscard]] double utilization() const noexcept {
         const double capacity = wall_seconds * static_cast<double>(max_workers);
-        return capacity > 0.0 ? busy_seconds / capacity : 1.0;
+        return capacity > 0.0 ? busy_seconds / capacity : 0.0;
     }
 };
 

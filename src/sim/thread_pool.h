@@ -18,9 +18,10 @@ struct pool_metrics {
     double wall_seconds = 0.0;
     double busy_seconds = 0.0;
 
+    /// 0 (not 1) when no capacity was measured: an empty run is idle.
     [[nodiscard]] double utilization() const noexcept {
         const double capacity = wall_seconds * static_cast<double>(workers);
-        return capacity > 0.0 ? busy_seconds / capacity : 1.0;
+        return capacity > 0.0 ? busy_seconds / capacity : 0.0;
     }
 };
 

@@ -33,13 +33,15 @@ double histogram::edge(std::size_t bin) const {
     return lo_ + width_ * static_cast<double>(bin);
 }
 
-double histogram::density(std::size_t bin) const {
+double histogram::mass(std::size_t bin) const {
     const std::uint64_t in_range = total_ - underflow_ - overflow_;
     if (in_range == 0) return 0.0;
     return static_cast<double>(count(bin)) / static_cast<double>(in_range);
 }
 
-void log2_histogram::add(std::uint64_t x) noexcept {
+double histogram::density(std::size_t bin) const { return mass(bin) / width_; }
+
+void log2_histogram::add(std::uint64_t x) {
     ++total_;
     if (x == 0) {
         ++zeros_;

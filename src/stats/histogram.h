@@ -20,7 +20,12 @@ public:
     [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
     /// Left edge of a bin.
     [[nodiscard]] double edge(std::size_t bin) const;
-    /// Fraction of in-range mass in a bin.
+    [[nodiscard]] double width() const noexcept { return width_; }
+    /// Fraction of in-range mass in a bin: count(bin) / in-range total.
+    [[nodiscard]] double mass(std::size_t bin) const;
+    /// Probability *density* estimate over a bin: mass(bin) / bin width, so
+    /// densities integrate to ~1 over [lo, hi). (Historically this returned
+    /// the mass — callers wanting the raw fraction should use `mass`.)
     [[nodiscard]] double density(std::size_t bin) const;
 
 private:
@@ -33,7 +38,10 @@ private:
 /// lengths, hitting times): bucket b holds values in [2^b, 2^{b+1}).
 class log2_histogram {
 public:
-    void add(std::uint64_t x) noexcept;
+    /// Not noexcept: growing the bucket vector allocates (a 2^63 sample on
+    /// an empty histogram grows it to 64 buckets), and std::bad_alloc
+    /// through a noexcept boundary would be an instant std::terminate.
+    void add(std::uint64_t x);
 
     /// Number of occupied leading buckets (highest seen + 1).
     [[nodiscard]] std::size_t buckets() const noexcept { return counts_.size(); }

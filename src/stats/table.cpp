@@ -23,7 +23,28 @@ void text_table::add_separator() { rows_.push_back({}); }
 
 std::size_t text_table::rows() const noexcept { return rows_.size(); }
 
+std::vector<std::vector<std::string>> text_table::cell_rows() const {
+    std::vector<std::vector<std::string>> out;
+    out.reserve(rows_.size());
+    for (const auto& r : rows_) {
+        if (!r.cells.empty()) out.push_back(r.cells);
+    }
+    return out;
+}
+
+namespace {
+std::function<void(const text_table&)>& print_observer() {
+    static std::function<void(const text_table&)> f;
+    return f;
+}
+}  // namespace
+
+void set_table_print_observer(std::function<void(const text_table&)> observer) {
+    print_observer() = std::move(observer);
+}
+
 void text_table::print(std::ostream& os) const {
+    if (const auto& obs = print_observer()) obs(*this);
     std::vector<std::size_t> width(header_.size());
     for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
     for (const auto& r : rows_) {

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <functional>
 #include <iosfwd>
 #include <string>
 #include <type_traits>
@@ -26,6 +27,11 @@ public:
 
     [[nodiscard]] std::size_t rows() const noexcept;
 
+    [[nodiscard]] const std::vector<std::string>& header() const noexcept { return header_; }
+
+    /// Data rows in print order, separators elided.
+    [[nodiscard]] std::vector<std::vector<std::string>> cell_rows() const;
+
     void print(std::ostream& os) const;
 
 private:
@@ -35,6 +41,13 @@ private:
     std::vector<std::string> header_;
     std::vector<row> rows_;
 };
+
+/// Hook invoked (when installed) by `text_table::print` with the table just
+/// printed. The observability layer uses this to capture every bench's
+/// result rows for the structured JSON sink without the benches — or this
+/// layer — knowing about it. Pass an empty function to uninstall.
+/// Not thread-safe: install before worker threads print tables.
+void set_table_print_observer(std::function<void(const text_table&)> observer);
 
 /// Formatting helpers for table cells.
 [[nodiscard]] std::string fmt(double v, int precision = 4);

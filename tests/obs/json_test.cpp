@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "src/obs/json.h"
+
+namespace levy::obs {
+namespace {
+
+TEST(Json, ScalarsDump) {
+    EXPECT_EQ(json(nullptr).dump(), "null");
+    EXPECT_EQ(json(true).dump(), "true");
+    EXPECT_EQ(json(false).dump(), "false");
+    EXPECT_EQ(json("hi").dump(), "\"hi\"");
+    EXPECT_EQ(json(3.5).dump(), "3.5");
+}
+
+TEST(Json, IntegersDumpWithoutFraction) {
+    EXPECT_EQ(json(0).dump(), "0");
+    EXPECT_EQ(json(-7).dump(), "-7");
+    EXPECT_EQ(json(std::uint64_t{200000}).dump(), "200000");
+    EXPECT_EQ(json(1.0).dump(), "1");  // numerically integral doubles too
+}
+
+TEST(Json, NonFiniteDumpsAsNull) {
+    EXPECT_EQ(json(std::numeric_limits<double>::infinity()).dump(), "null");
+    EXPECT_EQ(json(std::numeric_limits<double>::quiet_NaN()).dump(), "null");
+}
+
+TEST(Json, ObjectPreservesInsertionOrder) {
+    json obj = json::object();
+    obj.set("zulu", 1);
+    obj.set("alpha", 2);
+    obj.set("mike", 3);
+    EXPECT_EQ(obj.dump(), "{\"zulu\":1,\"alpha\":2,\"mike\":3}");
+    obj.set("zulu", 9);  // replace keeps the original position
+    EXPECT_EQ(obj.dump(), "{\"zulu\":9,\"alpha\":2,\"mike\":3}");
+}
+
+TEST(Json, StringEscaping) {
+    EXPECT_EQ(json("a\"b\\c\n\t").dump(), "\"a\\\"b\\\\c\\n\\t\"");
+    EXPECT_EQ(json(std::string(1, '\x01')).dump(), "\"\\u0001\"");
+}
+
+TEST(Json, ParseRoundTrip) {
+    const std::string text =
+        R"({"schema":"levy-bench","n":3,"neg":-2.5,"ok":true,"none":null,)"
+        R"("arr":[1,2,3],"nested":{"k":"v"}})";
+    const json doc = json::parse(text);
+    EXPECT_EQ(doc.at("schema").as_string(), "levy-bench");
+    EXPECT_DOUBLE_EQ(doc.at("n").as_number(), 3.0);
+    EXPECT_DOUBLE_EQ(doc.at("neg").as_number(), -2.5);
+    EXPECT_TRUE(doc.at("ok").as_bool());
+    EXPECT_TRUE(doc.at("none").is_null());
+    EXPECT_EQ(doc.at("arr").size(), 3u);
+    EXPECT_DOUBLE_EQ(doc.at("arr").at(1).as_number(), 2.0);
+    EXPECT_EQ(doc.at("nested").at("k").as_string(), "v");
+    // Dump → parse → dump is a fixed point.
+    EXPECT_EQ(json::parse(doc.dump()).dump(), doc.dump());
+}
+
+TEST(Json, ParseEscapes) {
+    const json doc = json::parse(R"("tab\t quote\" u\u0041 \u00e9")");
+    EXPECT_EQ(doc.as_string(), "tab\t quote\" u\x41 \xc3\xa9");
+}
+
+TEST(Json, ParseErrorsCarryOffset) {
+    EXPECT_THROW((void)json::parse("{"), std::runtime_error);
+    EXPECT_THROW((void)json::parse("[1,]"), std::runtime_error);
+    EXPECT_THROW((void)json::parse("tru"), std::runtime_error);
+    EXPECT_THROW((void)json::parse("{} trailing"), std::runtime_error);
+    try {
+        (void)json::parse("[1, nope]");
+        FAIL() << "expected parse error";
+    } catch (const std::runtime_error& e) {
+        EXPECT_NE(std::string(e.what()).find("byte"), std::string::npos);
+    }
+}
+
+TEST(Json, KindMismatchThrows) {
+    const json n(1.5);
+    EXPECT_THROW((void)n.as_string(), std::runtime_error);
+    EXPECT_THROW((void)n.at("key"), std::runtime_error);
+    EXPECT_THROW((void)n.at(0), std::runtime_error);
+    json obj = json::object();
+    EXPECT_THROW((void)obj.at("missing"), std::runtime_error);
+    EXPECT_EQ(obj.find("missing"), nullptr);
+}
+
+TEST(Json, PrettyPrint) {
+    json doc = json::object();
+    doc.set("a", 1);
+    json arr = json::array();
+    arr.push_back(2);
+    doc.set("b", std::move(arr));
+    EXPECT_EQ(doc.dump(2), "{\n  \"a\": 1,\n  \"b\": [\n    2\n  ]\n}");
+}
+
+}  // namespace
+}  // namespace levy::obs

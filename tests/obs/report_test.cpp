@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "src/obs/json.h"
+#include "src/obs/metrics.h"
+#include "src/obs/report.h"
+#include "src/stats/table.h"
+
+namespace levy::obs {
+namespace {
+
+sim::run_metrics fake_metrics() {
+    sim::run_metrics m;
+    m.trials = 1000;
+    m.wall_seconds = 2.0;
+    m.busy_seconds = 6.0;
+    m.max_workers = 4;
+    m.censored = 3;
+    return m;
+}
+
+class ReportTest : public ::testing::Test {
+protected:
+    void SetUp() override { reset_metrics_registry(); }
+    void TearDown() override { end_report(); }
+};
+
+TEST_F(ReportTest, BuildsSchemaV1Document) {
+    begin_report("E99", {{"trials", "1000"}, {"seed", "0x2a"}});
+    get_counter("report_test.counter").add(5);
+    set_gauge("report_test.gauge", 1.25);
+
+    stats::text_table table({"ell", "paper"});
+    table.add_row({"64", "0.5"});
+    table.add_separator();
+    table.add_row({"128", "0.25"});
+    std::ostringstream sink;
+    table.print(sink);  // the installed observer captures these rows
+
+    const json doc = build_report(fake_metrics());
+    EXPECT_TRUE(validate_bench_json(doc).empty())
+        << json(validate_bench_json(doc).front()).dump();
+    EXPECT_EQ(doc.at("schema").as_string(), "levy-bench");
+    EXPECT_DOUBLE_EQ(doc.at("version").as_number(), 1.0);
+    EXPECT_EQ(doc.at("experiment").as_string(), "E99");
+    EXPECT_EQ(doc.at("options").at("trials").as_string(), "1000");
+    ASSERT_EQ(doc.at("rows").size(), 2u);  // separator is not a row
+    EXPECT_EQ(doc.at("rows").at(1).at("values").at("ell").as_string(), "128");
+    const json& metrics = doc.at("metrics");
+    EXPECT_DOUBLE_EQ(metrics.at("trials").as_number(), 1000.0);
+    EXPECT_DOUBLE_EQ(metrics.at("trials_per_sec").as_number(), 500.0);
+    EXPECT_DOUBLE_EQ(metrics.at("utilization").as_number(), 0.75);
+    EXPECT_DOUBLE_EQ(metrics.at("censored").as_number(), 3.0);
+    EXPECT_DOUBLE_EQ(metrics.at("counters").at("report_test.counter").as_number(), 5.0);
+    EXPECT_DOUBLE_EQ(metrics.at("gauges").at("report_test.gauge").as_number(), 1.25);
+}
+
+TEST_F(ReportTest, UtilizationIsNullWithoutCapacity) {
+    begin_report("E99", {});
+    const json doc = build_report(sim::run_metrics{});
+    EXPECT_TRUE(doc.at("metrics").at("utilization").is_null());
+    EXPECT_TRUE(validate_bench_json(doc).empty());
+}
+
+TEST_F(ReportTest, TablesPrintedAfterEndAreNotCaptured) {
+    begin_report("E99", {});
+    end_report();
+    stats::text_table table({"col"});
+    table.add_row({"x"});
+    std::ostringstream sink;
+    table.print(sink);
+    begin_report("E99", {});
+    EXPECT_EQ(build_report(fake_metrics()).at("rows").size(), 0u);
+}
+
+TEST_F(ReportTest, WriteReportLandsParseableFile) {
+    begin_report("E98", {{"trials", "10"}});
+    const std::filesystem::path path =
+        std::filesystem::temp_directory_path() / "levy_report_test.json";
+    write_report(path.string(), fake_metrics());
+    std::ifstream in(path);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    const json doc = json::parse(ss.str());
+    EXPECT_TRUE(validate_bench_json(doc).empty());
+    EXPECT_EQ(doc.at("experiment").as_string(), "E98");
+    EXPECT_FALSE(doc.at("git_describe").as_string().empty());
+    std::filesystem::remove(path);
+}
+
+TEST_F(ReportTest, ValidatorFlagsBrokenDocuments) {
+    EXPECT_FALSE(validate_bench_json(json(1.0)).empty());
+    EXPECT_FALSE(validate_bench_json(json::object()).empty());
+
+    json doc = json::object();
+    doc.set("schema", "levy-bench");
+    doc.set("version", 2);  // wrong version
+    doc.set("experiment", "");
+    doc.set("git_describe", "abc");
+    doc.set("options", json::object());
+    doc.set("rows", json::array());
+    json metrics = json::object();
+    metrics.set("trials", 1);
+    metrics.set("trials_per_sec", 1.0);
+    metrics.set("utilization", "high");  // wrong type
+    metrics.set("censored", 0);
+    metrics.set("per_phase_spans", json::array());
+    doc.set("metrics", std::move(metrics));
+    const auto errors = validate_bench_json(doc);
+    EXPECT_EQ(errors.size(), 3u);  // version, experiment, utilization
+}
+
+TEST_F(ReportTest, UnknownKeysAreAllowed) {
+    begin_report("E97", {});
+    json doc = build_report(fake_metrics());
+    doc.set("added_in_v1_patch", "ignored by older readers");
+    EXPECT_TRUE(validate_bench_json(doc).empty());
+}
+
+}  // namespace
+}  // namespace levy::obs

@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "src/obs/json.h"
+#include "src/obs/trace.h"
+
+namespace levy::obs {
+namespace {
+
+class TraceTest : public ::testing::Test {
+protected:
+    void TearDown() override { stop_span_collection(); }
+};
+
+TEST_F(TraceTest, DisabledCollectionRecordsNothing) {
+    stop_span_collection();
+    {
+        LEVY_SPAN("ignored");
+    }
+    start_span_collection();  // clears the store
+    stop_span_collection();
+    EXPECT_TRUE(collected_spans().empty());
+}
+
+TEST_F(TraceTest, SpansRecordNameAndNesting) {
+    start_span_collection();
+    {
+        LEVY_SPAN("outer");
+        {
+            LEVY_SPAN("inner");
+        }
+    }
+    stop_span_collection();
+    const auto spans = collected_spans();
+    ASSERT_EQ(spans.size(), 2u);
+    // Completion order: inner closes first.
+    EXPECT_EQ(spans[0].name, "inner");
+    EXPECT_EQ(spans[0].depth, 1u);
+    EXPECT_EQ(spans[1].name, "outer");
+    EXPECT_EQ(spans[1].depth, 0u);
+    EXPECT_GE(spans[1].wall_seconds, spans[0].wall_seconds);
+    EXPECT_GE(spans[0].start_seconds, 0.0);
+}
+
+TEST_F(TraceTest, RestartClearsPriorSpans) {
+    start_span_collection();
+    {
+        LEVY_SPAN("first");
+    }
+    start_span_collection();
+    {
+        LEVY_SPAN("second");
+    }
+    stop_span_collection();
+    const auto spans = collected_spans();
+    ASSERT_EQ(spans.size(), 1u);
+    EXPECT_EQ(spans[0].name, "second");
+}
+
+TEST_F(TraceTest, ChromeTraceFileIsValidJson) {
+    start_span_collection();
+    {
+        LEVY_SPAN("phase_a");
+    }
+    {
+        LEVY_SPAN("phase_b");
+    }
+    stop_span_collection();
+
+    const std::filesystem::path path =
+        std::filesystem::temp_directory_path() / "levy_trace_test.json";
+    write_chrome_trace(path.string());
+    std::ifstream in(path);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    const json doc = json::parse(ss.str());
+    const json& events = doc.at("traceEvents");
+    ASSERT_EQ(events.size(), 2u);
+    for (const json& ev : events.elements()) {
+        EXPECT_EQ(ev.at("ph").as_string(), "X");
+        EXPECT_TRUE(ev.at("ts").is_number());
+        EXPECT_GE(ev.at("dur").as_number(), 0.0);
+        EXPECT_TRUE(ev.at("args").at("busy_seconds").is_number());
+    }
+    EXPECT_EQ(events.at(0).at("name").as_string(), "phase_a");
+    std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace levy::obs

@@ -1,6 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <random>
+
 #include "src/stats/histogram.h"
+#include "src/stats/summary.h"
 
 namespace levy::stats {
 namespace {
@@ -27,17 +30,63 @@ TEST(Histogram, UnderOverflowTracked) {
     EXPECT_EQ(h.total(), 3u);
 }
 
-TEST(Histogram, EdgesAndDensity) {
+TEST(Histogram, EdgesAndMass) {
     histogram h(1.0, 3.0, 4);
     EXPECT_DOUBLE_EQ(h.edge(0), 1.0);
     EXPECT_DOUBLE_EQ(h.edge(2), 2.0);
     EXPECT_DOUBLE_EQ(h.edge(4), 3.0);
+    EXPECT_DOUBLE_EQ(h.width(), 0.5);
     h.add(1.1);
     h.add(1.2);
     h.add(2.9);
-    h.add(-5.0);  // excluded from density normalization
-    EXPECT_DOUBLE_EQ(h.density(0), 2.0 / 3.0);
-    EXPECT_DOUBLE_EQ(h.density(3), 1.0 / 3.0);
+    h.add(-5.0);  // excluded from mass normalization
+    EXPECT_DOUBLE_EQ(h.mass(0), 2.0 / 3.0);
+    EXPECT_DOUBLE_EQ(h.mass(3), 1.0 / 3.0);
+}
+
+TEST(Histogram, DensityIsMassOverWidth) {
+    // Bins are 0.5 wide, so a bin's probability *density* is twice its
+    // mass. (The old implementation returned the mass from density(), so
+    // this test fails against it — the regression this suite pins.)
+    histogram h(1.0, 3.0, 4);
+    h.add(1.1);
+    h.add(1.2);
+    h.add(2.9);
+    EXPECT_DOUBLE_EQ(h.density(0), (2.0 / 3.0) / 0.5);
+    EXPECT_DOUBLE_EQ(h.density(3), (1.0 / 3.0) / 0.5);
+}
+
+TEST(Histogram, DensityIntegratesToOne) {
+    histogram h(-2.0, 2.0, 16);
+    std::mt19937_64 g(42);
+    std::normal_distribution<double> normal(0.0, 0.5);
+    for (int i = 0; i < 10000; ++i) h.add(normal(g));
+    double integral = 0.0;
+    for (std::size_t b = 0; b < h.bins(); ++b) integral += h.density(b) * h.width();
+    EXPECT_NEAR(integral, 1.0, 1e-12);  // exact up to rounding: mass sums to 1
+}
+
+TEST(Histogram, TopEdgeOverflows) {
+    // x == hi lands in overflow: bins are half-open [edge, next_edge), and
+    // hi is the first value past the last bin.
+    histogram h(0.0, 10.0, 5);
+    h.add(10.0);
+    EXPECT_EQ(h.overflow(), 1u);
+    EXPECT_EQ(h.count(4), 0u);
+    h.add(std::nextafter(10.0, 0.0));  // just below hi: last bin
+    EXPECT_EQ(h.count(4), 1u);
+}
+
+TEST(Histogram, CountInvariant) {
+    histogram h(0.0, 1.0, 8);
+    std::mt19937_64 g(7);
+    std::uniform_real_distribution<double> wide(-1.0, 2.0);
+    for (int i = 0; i < 5000; ++i) h.add(wide(g));
+    std::uint64_t in_bins = 0;
+    for (std::size_t b = 0; b < h.bins(); ++b) in_bins += h.count(b);
+    EXPECT_EQ(h.underflow() + h.overflow() + in_bins, h.total());
+    EXPECT_GT(h.underflow(), 0u);
+    EXPECT_GT(h.overflow(), 0u);
 }
 
 TEST(Histogram, Errors) {
@@ -75,6 +124,38 @@ TEST(Log2Histogram, QueryBeyondBucketsIsZero) {
     log2_histogram h;
     h.add(1);
     EXPECT_EQ(h.count(40), 0u);
+}
+
+TEST(Log2Histogram, HugeSampleGrowsToTopBucket) {
+    // The 2^63 sample forces the largest possible growth (64 buckets) in
+    // one call — the allocation that made the old noexcept add() a
+    // terminate() trap under memory pressure.
+    log2_histogram h;
+    h.add(std::uint64_t{1} << 63);
+    EXPECT_EQ(h.buckets(), 64u);
+    EXPECT_EQ(h.count(63), 1u);
+}
+
+TEST(RunningSummary, MergeMatchesOnePass) {
+    // Chan et al. pairwise merge must agree with a single-stream pass over
+    // the concatenation — the property the sharded Monte-Carlo reducers
+    // rely on.
+    std::mt19937_64 g(99);
+    std::lognormal_distribution<double> skewed(0.0, 1.5);
+    running_summary one_pass;
+    running_summary left, right;
+    for (int i = 0; i < 4000; ++i) {
+        const double x = skewed(g);
+        one_pass.add(x);
+        (i < 1500 ? left : right).add(x);
+    }
+    running_summary merged = left;
+    merged.merge(right);
+    EXPECT_EQ(merged.count(), one_pass.count());
+    EXPECT_NEAR(merged.mean(), one_pass.mean(), 1e-9 * std::abs(one_pass.mean()));
+    EXPECT_NEAR(merged.variance(), one_pass.variance(), 1e-9 * one_pass.variance());
+    EXPECT_DOUBLE_EQ(merged.min(), one_pass.min());
+    EXPECT_DOUBLE_EQ(merged.max(), one_pass.max());
 }
 
 }  // namespace

@@ -1,0 +1,15 @@
+// Same seeded violations, each suppressed with a justification.
+#include <stdexcept>
+#include <vector>
+
+void grow(std::vector<int>& v, int n) noexcept {
+    v.resize(n);      // levylint:allow(throwing-call-in-noexcept) caller pre-reserved n
+    v.push_back(n);   // levylint:allow(throwing-call-in-noexcept) capacity reserved above
+    v.reserve(2 * n); // levylint:allow(throwing-call-in-noexcept) bounded by ctor reserve
+}
+
+int checked(int x) noexcept(true) {
+    // levylint:allow(throwing-call-in-noexcept) contract-checked: x >= 0 by precondition
+    if (x < 0) throw std::invalid_argument("x");
+    return x;
+}

@@ -1,0 +1,23 @@
+// Seeded violations: exceptions that would escape an explicitly-noexcept
+// body and hit std::terminate mid-sweep.
+#include <stdexcept>
+#include <vector>
+
+void grow(std::vector<int>& v, int n) noexcept {
+    v.resize(n);      // may allocate: bad_alloc through noexcept = std::terminate
+    v.push_back(n);   // same
+    v.reserve(2 * n); // same
+}
+
+int checked(int x) noexcept(true) {
+    if (x < 0) throw std::invalid_argument("x");  // escapes: terminate
+    return x;
+}
+
+// Growth handled locally is fine: the exception never escapes.
+void guarded(std::vector<int>& v) noexcept {
+    try {
+        v.push_back(1);
+    } catch (...) {
+    }
+}

@@ -91,6 +91,20 @@ const std::vector<rule_info>& registry() {
          "sim::atomic_write_file, which fsync, verify, and rename atomically. A\n"
          "genuinely loss-tolerant scratch file may carry\n"
          "levylint:allow(unchecked-write) on its declaration line.\n"},
+        {"throwing-call-in-noexcept",
+         "throw or container growth (resize/push_back/...) inside an explicitly-noexcept body",
+         "An exception escaping a noexcept function does not propagate — it\n"
+         "calls std::terminate, killing the whole sweep with no checkpoint\n"
+         "flush and no partial results. `throw` is the obvious way to do that;\n"
+         "the sneaky way is a container-growth call (resize, push_back,\n"
+         "emplace_back, insert, reserve, assign) that can raise bad_alloc.\n"
+         "stats::log2_histogram::add shipped exactly this bug: declared\n"
+         "noexcept, grew its bucket vector on demand.\n"
+         "\n"
+         "Fix: drop the noexcept, pre-reserve so the hot path provably cannot\n"
+         "allocate, or handle the exception locally (growth inside a try block\n"
+         "is not flagged). A call proven non-allocating may carry\n"
+         "levylint:allow(throwing-call-in-noexcept) with a justification.\n"},
     };
     return r;
 }
@@ -244,6 +258,7 @@ public:
         check_include_hygiene();
         check_header_guard();
         check_unchecked_write();
+        check_throwing_call_in_noexcept();
         std::stable_sort(findings_.begin(), findings_.end(),
                          [](const finding& a, const finding& b) { return a.line < b.line; });
         return std::move(findings_);
@@ -648,6 +663,87 @@ private:
                          name + " (or .good()/.fail()) after writing, or use "
                                 "sim::csv_writer / sim::atomic_write_file");
             }
+        }
+    }
+
+    // --- throwing-call-in-noexcept -----------------------------------------
+
+    /// Scan a noexcept function body starting at its opening '{'. Flags
+    /// `throw` and container-growth member calls unless they sit inside a
+    /// try block (the exception is then handled locally). A throw inside a
+    /// *catch* block still fires: it escapes the handler.
+    void scan_noexcept_body(std::size_t open) {
+        static const char* kGrowthCalls[] = {"resize", "push_back", "emplace_back",
+                                             "insert", "reserve",   "assign"};
+        int depth = 0;
+        std::vector<int> try_depths;  // body depth of each enclosing try block
+        for (std::size_t j = open; j < ts_.size(); ++j) {
+            const token& t = ts_[j];
+            if (is_punct(t, "{")) {
+                ++depth;
+                continue;
+            }
+            if (is_punct(t, "}")) {
+                --depth;
+                if (!try_depths.empty() && depth < try_depths.back()) try_depths.pop_back();
+                if (depth == 0) return;  // end of the noexcept body
+                continue;
+            }
+            if (is_ident(t, "try") && at(ts_, j + 1) != nullptr && is_punct(ts_[j + 1], "{")) {
+                try_depths.push_back(depth + 1);
+                continue;
+            }
+            if (!try_depths.empty()) continue;  // handled locally
+            if (is_ident(t, "throw")) {
+                flag(t.line, "throwing-call-in-noexcept",
+                     "throw inside a noexcept function calls std::terminate instead of "
+                     "propagating; drop the noexcept or handle the exception locally");
+                continue;
+            }
+            if ((is_punct(t, ".") || is_punct(t, "->")) && at(ts_, j + 2) != nullptr &&
+                ts_[j + 1].kind == tok::identifier && is_punct(ts_[j + 2], "(")) {
+                const std::string& m = ts_[j + 1].text;
+                const bool grows =
+                    std::any_of(std::begin(kGrowthCalls), std::end(kGrowthCalls),
+                                [&](const char* g) { return m == g; });
+                if (grows) {
+                    flag(ts_[j + 1].line, "throwing-call-in-noexcept",
+                         "." + m + "() can allocate and throw bad_alloc, which a noexcept "
+                                   "function turns into std::terminate; drop the noexcept or "
+                                   "pre-reserve so the call provably cannot allocate");
+                }
+            }
+        }
+    }
+
+    void check_throwing_call_in_noexcept() {
+        for (std::size_t i = 0; i < ts_.size(); ++i) {
+            if (!is_ident(ts_[i], "noexcept")) continue;
+            // `noexcept(expr)`: only noexcept(true) is an unconditional
+            // promise. Conditional forms and noexcept(false) — and the
+            // noexcept *operator* in expressions — promise nothing here.
+            std::size_t after = i + 1;
+            if (at(ts_, after) != nullptr && is_punct(ts_[after], "(")) {
+                if (at(ts_, after + 2) == nullptr || !is_ident(ts_[after + 1], "true") ||
+                    !is_punct(ts_[after + 2], ")")) {
+                    continue;
+                }
+                after += 3;
+            }
+            // The specifier's body: a '{' before any ';' (pure declaration),
+            // '=' (= default / deleted), or ':' (ctor init lists hold
+            // brace-init tokens this token scan would misread — skip them).
+            std::size_t open = 0;
+            for (std::size_t j = after; j < ts_.size() && j < after + 32; ++j) {
+                if (is_punct(ts_[j], "{")) {
+                    open = j;
+                    break;
+                }
+                if (is_punct(ts_[j], ";") || is_punct(ts_[j], "=") || is_punct(ts_[j], ":")) {
+                    break;
+                }
+            }
+            if (open != 0) scan_noexcept_body(open);
         }
     }
 
