@@ -58,8 +58,10 @@ void run(const sim::run_options& opts) {
             ys.push_back(p.estimate());
         }
         const auto fit = stats::loglog_fit(xs, ys);
+        // ± is the 95% CI of the fitted slope (residual standard error), so
+        // levyreport can tell exponent drift from sampling noise.
         table.add_row({stats::fmt(alpha, 2), "slope", "-", "-",
-                       stats::fmt(fit.slope, 3) + " (fit)",
+                       stats::fmt_pm(fit.slope, 1.96 * fit.slope_std_error, 3) + " (fit)",
                        stats::fmt(-(3.0 - alpha), 3) + " (paper)",
                        "r2=" + stats::fmt(fit.r_squared, 3)});
         table.add_separator();

@@ -16,6 +16,7 @@
 #include "bench/bench_util.h"
 #include "src/core/strategy.h"
 #include "src/sim/trial.h"
+#include "src/stats/streaming.h"
 #include "src/stats/summary.h"
 
 namespace {
@@ -33,7 +34,7 @@ void sweep(const sim::run_options& opts, std::size_t k, std::int64_t ell,
               << ", alpha* = 3 - log k/log ell = " << stats::fmt(alpha_star, 3) << "\n";
 
     stats::text_table table({"alpha", "alpha-alpha*", "hit rate", "cens", "median tau^k",
-                             "p50/LB(ell^2/k)", "verdict"});
+                             "mean tau ± 95ci", "p50/LB(ell^2/k)", "verdict"});
     std::vector<double> sweep_alphas, sweep_medians;
     const double lower_bound = static_cast<double>(ell) * static_cast<double>(ell) /
                                static_cast<double>(k);
@@ -50,9 +51,11 @@ void sweep(const sim::run_options& opts, std::size_t k, std::int64_t ell,
         const double med = stats::median(sample.times);
         sweep_alphas.push_back(alpha);
         sweep_medians.push_back(med);
+        const auto ci = stats::normal_interval(stats::summarize(sample.times));
         table.add_row({stats::fmt(alpha, 2), stats::fmt(alpha - alpha_star, 2),
                        stats::fmt(sample.hit_fraction(), 2),
                        stats::fmt(sample.censored_fraction(), 2), stats::fmt(med, 0),
+                       stats::fmt_pm(ci.estimate, ci.half_width(), 0),
                        stats::fmt(med / lower_bound, 1),
                        std::abs(alpha - alpha_star) < 0.15 ? "<- near alpha*" : ""});
     }

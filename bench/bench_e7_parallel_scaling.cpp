@@ -15,6 +15,7 @@
 #include "src/core/strategy.h"
 #include "src/core/theory.h"
 #include "src/sim/trial.h"
+#include "src/stats/streaming.h"
 #include "src/stats/summary.h"
 
 namespace {
@@ -28,8 +29,9 @@ void run(const sim::run_options& opts) {
     const std::int64_t ell = bench::scaled(128, opts.scale);
     std::vector<std::size_t> ks = {2, 8, 32, 128, 512};
 
-    stats::text_table table({"k", "alpha*", "hit rate", "cens", "median tau^k", "ell^2/k",
-                             "p50/(ell^2/k)", "LB ell^2/k+ell"});
+    stats::text_table table({"k", "alpha*", "hit rate", "cens", "median tau^k",
+                             "mean tau ± 95ci", "ell^2/k", "p50/(ell^2/k)",
+                             "LB ell^2/k+ell"});
     std::vector<double> xs, ys;
     for (const std::size_t k : ks) {
         const double alpha = optimal_alpha(static_cast<double>(k), static_cast<double>(ell));
@@ -48,9 +50,11 @@ void run(const sim::run_options& opts) {
         const double med = stats::median(sample.times);
         const double ideal = static_cast<double>(ell) * static_cast<double>(ell) /
                              static_cast<double>(k);
+        const auto ci = stats::normal_interval(stats::summarize(sample.times));
         table.add_row({stats::fmt(k), stats::fmt(alpha, 2),
                        stats::fmt(sample.hit_fraction(), 2),
                        stats::fmt(sample.censored_fraction(), 2), stats::fmt(med, 0),
+                       stats::fmt_pm(ci.estimate, ci.half_width(), 0),
                        stats::fmt(ideal, 0), stats::fmt(med / ideal, 2),
                        stats::fmt(theory::universal_lower_bound(static_cast<double>(k),
                                                                 static_cast<double>(ell)),
@@ -60,8 +64,11 @@ void run(const sim::run_options& opts) {
     }
     const auto fit = stats::loglog_fit(xs, ys);
     table.add_separator();
-    table.add_row({"slope", "-", "-", "-", stats::fmt(fit.slope, 3) + " (fit)", "-1 (paper)",
-                   "r2=" + stats::fmt(fit.r_squared, 3), "-"});
+    // ± is the 95% CI of the fitted slope, the noise floor levyreport gates
+    // paper-drift against.
+    table.add_row({"slope", "-", "-", "-",
+                   stats::fmt_pm(fit.slope, 1.96 * fit.slope_std_error, 3) + " (fit)",
+                   "-1 (paper)", "r2=" + stats::fmt(fit.r_squared, 3), "-", "-"});
     table.print(std::cout);
     std::cout << "\nReading: median tau^k tracks ell^2/k (slope ~ -1 in k) until the budget\n"
                  "floor ~ell bites at very large k; the p50/(ell^2/k) column is the\n"

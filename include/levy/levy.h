@@ -25,6 +25,7 @@
 #include "src/stats/histogram.h"
 #include "src/stats/proportion.h"
 #include "src/stats/regression.h"
+#include "src/stats/streaming.h"
 #include "src/stats/summary.h"
 #include "src/stats/table.h"
 
@@ -39,6 +40,14 @@
 #include "src/core/target.h"
 #include "src/core/target_field.h"
 #include "src/core/theory.h"
+
+// Observability (in-flight telemetry + structured results)
+#include "src/obs/exporter.h"
+#include "src/obs/json.h"
+#include "src/obs/metrics.h"
+#include "src/obs/progress.h"
+#include "src/obs/report.h"
+#include "src/obs/trace.h"
 
 // Simulation engine
 #include "src/sim/experiment.h"

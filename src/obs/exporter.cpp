@@ -1,0 +1,309 @@
+#include "src/obs/exporter.h"
+
+#include <atomic>
+#include <charconv>
+#include <cstring>
+#include <mutex>
+#include <stdexcept>
+// levylint:allow(raw-thread) server thread: observability I/O only — it
+// serves read-only snapshots and never runs trial work.
+#include <thread>
+
+#include "src/obs/json.h"
+#include "src/obs/metrics.h"
+#include "src/obs/progress.h"
+#include "src/sim/monte_carlo.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define LEVY_HAVE_POSIX_SOCKETS 1
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#else
+#define LEVY_HAVE_POSIX_SOCKETS 0
+#endif
+
+namespace levy::obs {
+namespace {
+
+/// Shortest-round-trip double, matching the JSON writer's determinism.
+std::string fmt_double(double v) {
+    char buf[64];
+    const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+    if (ec != std::errc{}) return "0";
+    return std::string(buf, ptr);
+}
+
+std::string fmt_u64(std::uint64_t v) { return std::to_string(v); }
+
+/// Inclusive upper edge of log2 snapshot slot `i` (slot 0 = zeros, slot
+/// b >= 1 = [2^(b-1), 2^b)), as a Prometheus `le` label.
+std::string log2_le(std::size_t slot) {
+    if (slot == 0) return "0";
+    if (slot >= 64) return fmt_u64(~std::uint64_t{0});
+    return fmt_u64((std::uint64_t{1} << slot) - 1);
+}
+
+void append_histogram(std::string& out, const std::string& name,
+                      const histogram_snapshot& h) {
+    out += "# TYPE " + name + " histogram\n";
+    std::uint64_t cumulative = 0;
+    double sum_estimate = 0.0;
+    if (h.spec.kind == histogram_spec::scale::log2) {
+        for (std::size_t slot = 0; slot < h.buckets.size(); ++slot) {
+            cumulative += h.buckets[slot];
+            out += name + "_bucket{le=\"" + log2_le(slot) + "\"} " + fmt_u64(cumulative) +
+                   "\n";
+            if (slot > 0) {
+                // Midpoint of [2^(slot-1), 2^slot) — a factor-2 envelope.
+                sum_estimate += static_cast<double>(h.buckets[slot]) * 1.5 *
+                                static_cast<double>(std::uint64_t{1} << (slot - 1));
+            }
+        }
+    } else {
+        const double width =
+            (h.spec.hi - h.spec.lo) / static_cast<double>(h.spec.bins);
+        // Slot 0 is underflow: folded into the first cumulative bucket (its
+        // values are below every boundary). The last slot is overflow,
+        // visible only in +Inf.
+        cumulative = h.buckets[0];
+        sum_estimate += static_cast<double>(h.buckets[0]) * h.spec.lo;
+        for (std::size_t bin = 0; bin < h.spec.bins; ++bin) {
+            cumulative += h.buckets[bin + 1];
+            const double upper = h.spec.lo + width * static_cast<double>(bin + 1);
+            out += name + "_bucket{le=\"" + fmt_double(upper) + "\"} " +
+                   fmt_u64(cumulative) + "\n";
+            sum_estimate += static_cast<double>(h.buckets[bin + 1]) *
+                            (h.spec.lo + width * (static_cast<double>(bin) + 0.5));
+        }
+        sum_estimate += static_cast<double>(h.buckets[h.spec.bins + 1]) * h.spec.hi;
+    }
+    const std::uint64_t total = h.total();
+    out += name + "_bucket{le=\"+Inf\"} " + fmt_u64(total) + "\n";
+    out += name + "_sum " + fmt_double(sum_estimate) + "\n";
+    out += name + "_count " + fmt_u64(total) + "\n";
+}
+
+#if LEVY_HAVE_POSIX_SOCKETS
+
+struct exporter_state {
+    std::mutex m;
+    bool running = false;
+    std::atomic<bool> stop{false};
+    int listen_fd = -1;
+    std::thread server;  // levylint:allow(raw-thread) see file header note
+};
+
+exporter_state& state() {
+    static exporter_state* s = new exporter_state;  // leaked like the registry
+    return *s;
+}
+
+struct http_response {
+    int status = 200;
+    std::string content_type = "text/plain; charset=utf-8";
+    std::string body;
+};
+
+http_response route(const std::string& path) {
+    if (path == "/metrics") {
+        return {200, "text/plain; version=0.0.4; charset=utf-8", prometheus_text()};
+    }
+    if (path == "/healthz") return {200, "text/plain; charset=utf-8", "ok\n"};
+    if (path == "/progress") {
+        return {200, "application/json; charset=utf-8",
+                progress_to_json(snapshot_progress()).dump(2) + "\n"};
+    }
+    return {404, "text/plain; charset=utf-8", "not found\n"};
+}
+
+const char* status_text(int status) {
+    switch (status) {
+        case 200: return "OK";
+        case 400: return "Bad Request";
+        case 404: return "Not Found";
+        default: return "Error";
+    }
+}
+
+void send_all(int fd, const std::string& bytes) {
+    std::size_t sent = 0;
+    while (sent < bytes.size()) {
+        const ssize_t n =
+            ::send(fd, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+        if (n <= 0) return;  // peer went away: scraping is best-effort
+        sent += static_cast<std::size_t>(n);
+    }
+}
+
+void handle_connection(int fd) {
+    // Bounded read of the request head; a stalled or oversized client gets
+    // dropped by the 2 s socket timeout instead of wedging the server.
+    timeval timeout{};
+    timeout.tv_sec = 2;
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &timeout, sizeof(timeout));
+    std::string request;
+    char buf[1024];
+    while (request.size() < 8192 && request.find("\r\n\r\n") == std::string::npos) {
+        const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+        if (n <= 0) break;
+        request.append(buf, static_cast<std::size_t>(n));
+    }
+    http_response resp;
+    const std::size_t line_end = request.find("\r\n");
+    std::string method, path;
+    if (line_end != std::string::npos) {
+        const std::string line = request.substr(0, line_end);
+        const std::size_t sp1 = line.find(' ');
+        const std::size_t sp2 = sp1 == std::string::npos ? std::string::npos
+                                                         : line.find(' ', sp1 + 1);
+        if (sp2 != std::string::npos) {
+            method = line.substr(0, sp1);
+            path = line.substr(sp1 + 1, sp2 - sp1 - 1);
+        }
+    }
+    if (method != "GET" || path.empty()) {
+        resp = {400, "text/plain; charset=utf-8", "bad request\n"};
+    } else {
+        resp = route(path);
+    }
+    std::string out = "HTTP/1.1 " + std::to_string(resp.status) + " " +
+                      status_text(resp.status) + "\r\n";
+    out += "Content-Type: " + resp.content_type + "\r\n";
+    out += "Content-Length: " + std::to_string(resp.body.size()) + "\r\n";
+    out += "Connection: close\r\n\r\n";
+    out += resp.body;
+    send_all(fd, out);
+    ::close(fd);
+}
+
+void server_loop() {
+    exporter_state& st = state();
+    static const counter scrapes = get_counter("obs.scrapes");
+    while (!st.stop.load(std::memory_order_acquire)) {
+        pollfd pfd{};
+        pfd.fd = st.listen_fd;
+        pfd.events = POLLIN;
+        const int ready = ::poll(&pfd, 1, /*timeout_ms=*/200);
+        if (ready <= 0) continue;  // timeout or EINTR: re-check stop
+        const int conn = ::accept(st.listen_fd, nullptr, nullptr);
+        if (conn < 0) continue;
+        scrapes.add();
+        handle_connection(conn);
+    }
+}
+
+#endif  // LEVY_HAVE_POSIX_SOCKETS
+
+}  // namespace
+
+std::string prometheus_name(const std::string& name) {
+    std::string out;
+    out.reserve(name.size());
+    for (char c : name) {
+        const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                        (c >= '0' && c <= '9' && !out.empty()) || c == '_' || c == ':';
+        out += ok ? c : '_';
+    }
+    if (out.empty()) out = "_";
+    return out;
+}
+
+std::string prometheus_text() {
+    const metrics_view view = snapshot_metrics();
+    std::string out;
+    out.reserve(4096);
+    for (const auto& [name, value] : view.counters) {
+        const std::string pn = "levy_" + prometheus_name(name) + "_total";
+        out += "# TYPE " + pn + " counter\n";
+        out += pn + " " + fmt_u64(value) + "\n";
+    }
+    for (const auto& [name, value] : view.gauges) {
+        const std::string pn = "levy_" + prometheus_name(name);
+        out += "# TYPE " + pn + " gauge\n";
+        out += pn + " " + fmt_double(value) + "\n";
+    }
+    for (const auto& [name, hist] : view.histograms) {
+        append_histogram(out, "levy_" + prometheus_name(name), hist);
+    }
+    // Monte-Carlo run totals, so a plain scrape sees throughput without
+    // knowing the registry's counter names.
+    const sim::run_metrics m = sim::metrics_snapshot();
+    out += "# TYPE levy_run_trials_total counter\n";
+    out += "levy_run_trials_total " + fmt_u64(m.trials) + "\n";
+    out += "# TYPE levy_run_censored_total counter\n";
+    out += "levy_run_censored_total " + fmt_u64(m.censored) + "\n";
+    out += "# TYPE levy_run_wall_seconds gauge\n";
+    out += "levy_run_wall_seconds " + fmt_double(m.wall_seconds) + "\n";
+    out += "# TYPE levy_run_busy_seconds gauge\n";
+    out += "levy_run_busy_seconds " + fmt_double(m.busy_seconds) + "\n";
+    out += "# TYPE levy_run_max_workers gauge\n";
+    out += "levy_run_max_workers " + fmt_u64(m.max_workers) + "\n";
+    return out;
+}
+
+#if LEVY_HAVE_POSIX_SOCKETS
+
+unsigned short start_metrics_exporter(unsigned short port) {
+    exporter_state& st = state();
+    std::lock_guard lk(st.m);
+    if (st.running) throw std::logic_error("metrics exporter already running");
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) throw std::runtime_error("metrics exporter: socket() failed");
+    const int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_ANY);
+    addr.sin_port = htons(port);
+    if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0 ||
+        ::listen(fd, 16) != 0) {
+        ::close(fd);
+        throw std::runtime_error("metrics exporter: cannot bind/listen on port " +
+                                 std::to_string(port));
+    }
+    socklen_t len = sizeof(addr);
+    if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+        ::close(fd);
+        throw std::runtime_error("metrics exporter: getsockname failed");
+    }
+    st.listen_fd = fd;
+    st.stop.store(false, std::memory_order_release);
+    // levylint:allow(raw-thread) observability server; never runs trial work
+    st.server = std::thread(server_loop);
+    st.running = true;
+    return ntohs(addr.sin_port);
+}
+
+void stop_metrics_exporter() noexcept {
+    exporter_state& st = state();
+    std::lock_guard lk(st.m);
+    if (!st.running) return;
+    st.stop.store(true, std::memory_order_release);
+    if (st.server.joinable()) st.server.join();
+    ::close(st.listen_fd);
+    st.listen_fd = -1;
+    st.running = false;
+}
+
+bool metrics_exporter_active() noexcept {
+    exporter_state& st = state();
+    std::lock_guard lk(st.m);
+    return st.running;
+}
+
+#else  // !LEVY_HAVE_POSIX_SOCKETS
+
+unsigned short start_metrics_exporter(unsigned short) {
+    throw std::runtime_error("metrics exporter requires POSIX sockets on this platform");
+}
+void stop_metrics_exporter() noexcept {}
+bool metrics_exporter_active() noexcept { return false; }
+
+#endif
+
+}  // namespace levy::obs

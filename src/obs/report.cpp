@@ -69,7 +69,7 @@ void end_report() {
     stats::set_table_print_observer({});
 }
 
-json build_report(const sim::run_metrics& m) {
+json build_report(const sim::run_metrics& m, bool interrupted) {
     report_state& s = state();
     std::lock_guard lk(s.m);
 
@@ -143,11 +143,12 @@ json build_report(const sim::run_metrics& m) {
     metrics.set("per_phase_spans", std::move(spans));
 
     doc.set("metrics", std::move(metrics));
+    if (interrupted) doc.set("interrupted", true);
     return doc;
 }
 
-void write_report(const std::string& path, const sim::run_metrics& m) {
-    const std::string text = build_report(m).dump(2) + "\n";
+void write_report(const std::string& path, const sim::run_metrics& m, bool interrupted) {
+    const std::string text = build_report(m, interrupted).dump(2) + "\n";
     sim::atomic_write_file(path, std::vector<char>(text.begin(), text.end()));
 }
 
@@ -178,6 +179,9 @@ std::vector<std::string> validate_bench_json(const json& doc) {
     require("git_describe", git != nullptr && git->is_string(), "must be a string");
     const json* options = doc.find("options");
     require("options", options != nullptr && options->is_object(), "must be an object");
+    const json* interrupted = doc.find("interrupted");
+    require("interrupted", interrupted == nullptr || interrupted->is_bool(),
+            "must be a boolean when present");
 
     const json* rows = doc.find("rows");
     if (rows == nullptr || !rows->is_array()) {

@@ -36,7 +36,9 @@ namespace levy::obs {
 ///       "gauges": { "<name>": v, ... },
 ///       "per_phase_spans": [ { "name": "...", "count": N,
 ///                              "wall_seconds": s, "busy_seconds": s } ]
-///     }
+///     },
+///     "interrupted": true        // only present on a cancelled (SIGTERM)
+///                                // run whose partial document was flushed
 ///   }
 ///
 /// Compatibility rule: within version 1, fields are only ever *added*;
@@ -52,12 +54,15 @@ void begin_report(const std::string& experiment,
 
 /// Build the schema-v1 document from everything captured since
 /// begin_report, plus the run's Monte-Carlo metrics, the obs registry
-/// snapshot, and per-phase span aggregates.
-[[nodiscard]] json build_report(const sim::run_metrics& m);
+/// snapshot, and per-phase span aggregates. With `interrupted` the document
+/// is marked as a partial result of a cancelled run (additive field, still
+/// schema v1 — see the compatibility rule).
+[[nodiscard]] json build_report(const sim::run_metrics& m, bool interrupted = false);
 
 /// build_report + atomic write of `dump(2)` to `path`. Throws
 /// std::runtime_error on I/O failure.
-void write_report(const std::string& path, const sim::run_metrics& m);
+void write_report(const std::string& path, const sim::run_metrics& m,
+                  bool interrupted = false);
 
 /// Close the report and uninstall the table observer (write_report does
 /// not, so a bench may write to several sinks). Safe when inactive.

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "src/obs/json.h"
+#include "src/obs/progress.h"
 #include "src/sim/checkpoint.h"
 #include "src/sim/monte_carlo.h"
 
@@ -66,6 +67,9 @@ std::vector<span_record> collected_spans() {
 }
 
 span::span(const char* name) : name_(name) {
+    // Progress lines label themselves with the innermost recently-opened
+    // span; the hook is one relaxed load when --progress is off.
+    note_progress_phase(name);
     if (!collecting_spans()) return;
     active_ = true;
     thread_state& t = tls();

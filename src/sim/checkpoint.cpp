@@ -16,6 +16,7 @@
 
 #include "src/core/contracts.h"
 #include "src/obs/metrics.h"
+#include "src/obs/progress.h"
 #include "src/sim/fault.h"
 
 namespace levy::sim {
@@ -249,6 +250,9 @@ void trial_journal::flush_locked() {
     unflushed_ = 0;
     dirty_ = false;
     last_flush_ = std::chrono::steady_clock::now();
+    // Progress reporting: "ckpt Ns ago" is this gauge against the shared
+    // monotonic timebase — a stalling journal shows up as a growing age.
+    obs::set_gauge(obs::kCheckpointFlushGauge, obs::monotonic_seconds());
 }
 
 }  // namespace levy::sim

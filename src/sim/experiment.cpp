@@ -131,11 +131,23 @@ run_options parse_run_options(int argc, char** argv) {
             opts.json_dir = std::string(jd);
         } else if (auto tr = eat("--trace"); !tr.empty()) {
             opts.trace_path = std::string(tr);
+        } else if (arg == "--progress") {
+            // The one value-less flag: "--progress" alone means the default
+            // interval, so it takes the same duplicate bookkeeping by hand.
+            if (!seen.emplace("--progress").second) {
+                throw std::invalid_argument("duplicate flag: --progress");
+            }
+            opts.progress_seconds = 2.0;
+        } else if (auto p = eat("--progress"); !p.empty()) {
+            opts.progress_seconds = parse_number<double>(p, "progress");
+        } else if (auto mp = eat("--metrics-port"); !mp.empty()) {
+            opts.metrics_port = parse_number<int>(mp, "metrics-port");
         } else if (arg == "--help" || arg == "-h") {
             throw std::invalid_argument(
                 "usage: [--trials=N] [--scale=S] [--threads=T] [--chunk=C] [--seed=X] "
                 "[--csv=PATH] [--checkpoint=DIR] [--checkpoint-interval=K] "
-                "[--max-steps-per-trial=M] [--json=PATH|-] [--json-dir=DIR] [--trace=PATH]");
+                "[--max-steps-per-trial=M] [--json=PATH|-] [--json-dir=DIR] [--trace=PATH] "
+                "[--progress[=SECS]] [--metrics-port=P]");
         } else {
             throw std::invalid_argument("unknown argument: " + std::string(arg));
         }
@@ -144,6 +156,12 @@ run_options parse_run_options(int argc, char** argv) {
     if (!(opts.scale > 0.0)) throw std::invalid_argument("--scale must be positive");
     if (opts.checkpoint_interval == 0) {
         throw std::invalid_argument("--checkpoint-interval must be >= 1");
+    }
+    if (seen.count("--progress") != 0 && !(opts.progress_seconds > 0.0)) {
+        throw std::invalid_argument("--progress interval must be positive");
+    }
+    if (opts.metrics_port != -1 && (opts.metrics_port < 0 || opts.metrics_port > 65535)) {
+        throw std::invalid_argument("--metrics-port must be in [0, 65535]");
     }
     return opts;
 }
@@ -178,6 +196,14 @@ std::vector<std::pair<std::string, std::string>> describe_options(const run_opti
         out.emplace_back("max-steps-per-trial", std::to_string(opts.max_trial_steps));
     }
     if (!opts.trace_path.empty()) out.emplace_back("trace", opts.trace_path);
+    if (opts.progress_seconds > 0.0) {
+        std::ostringstream s;
+        s << opts.progress_seconds;
+        out.emplace_back("progress", s.str());
+    }
+    if (opts.metrics_port >= 0) {
+        out.emplace_back("metrics-port", std::to_string(opts.metrics_port));
+    }
     return out;
 }
 

@@ -33,6 +33,12 @@ namespace levy::sim {
 ///                           ("--json=-" disables an inherited --json-dir)
 ///   --trace=PATH            write collected LEVY_SPAN phases as a Chrome
 ///                           trace-event file (chrome://tracing / Perfetto)
+///   --progress[=SECS]       print a throttled progress/ETA line to stderr
+///                           every SECS seconds (default 2); stdout stays
+///                           byte-identical with and without the flag
+///   --metrics-port=P        serve /metrics (Prometheus), /healthz and
+///                           /progress on 0.0.0.0:P while the run is live
+///                           (P=0 picks an ephemeral port, printed to stderr)
 /// Unknown arguments, malformed/empty values, and duplicated flags all
 /// throw, so typos fail loudly.
 struct run_options {
@@ -48,6 +54,8 @@ struct run_options {
     std::string json_path;                 ///< --json ("-" = explicitly off)
     std::string json_dir;                  ///< --json-dir (empty = off)
     std::string trace_path;                ///< --trace (empty = off)
+    double progress_seconds = 0.0;         ///< --progress interval (0 = off)
+    int metrics_port = -1;                 ///< --metrics-port (-1 = off, 0 = ephemeral)
 
     /// mc_options with this run's trials (or `default_trials` when the user
     /// didn't override) and a per-use salt so distinct experiment phases in

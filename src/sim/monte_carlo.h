@@ -8,6 +8,8 @@
 #include <vector>
 
 #include "src/core/contracts.h"
+#include "src/obs/metrics.h"
+#include "src/obs/progress.h"
 #include "src/rng/rng_stream.h"
 #include "src/sim/checkpoint.h"
 #include "src/sim/fault.h"
@@ -126,12 +128,19 @@ auto monte_carlo_collect(const mc_options& opts, F&& trial_fn)
     using result_t = decltype(trial_fn(std::size_t{}, std::declval<rng&>()));
     std::vector<result_t> results(opts.trials);
     const rng master = rng::seeded(opts.seed);
+    // Progress accounting: planned once per phase, completed per trial (one
+    // relaxed shard increment amid thousands of walk steps — the progress
+    // reporter and /metrics read these live without touching the hot path).
+    const obs::counter planned = obs::get_counter(obs::kTrialsPlannedCounter);
+    const obs::counter completed = obs::get_counter(obs::kTrialsCompletedCounter);
+    planned.add(opts.trials);
     const auto run_one = [&](std::size_t i) {
         throw_if_cancelled();
         fault_before_trial(i);
         rng stream = master.substream(i);
         results[i] = trial_fn(i, stream);
         fault_after_trial(i);
+        completed.add();
     };
     if (opts.checkpoint_path.empty()) {
         parallel_for(opts.trials, opts.threads, run_one, opts.chunk);
@@ -145,6 +154,7 @@ auto monte_carlo_collect(const mc_options& opts, F&& trial_fn)
         journal_key{opts.seed, opts.trials, static_cast<std::uint32_t>(sizeof(result_t))},
         opts.checkpoint_interval, opts.checkpoint_seconds);
     const std::vector<std::size_t> missing = journal.restore(results.data());
+    completed.add(opts.trials - missing.size());  // replayed trials are done work
     parallel_for(
         missing.size(), opts.threads,
         [&](std::size_t j) {

@@ -18,9 +18,10 @@ double ecdf::operator()(double x) const noexcept {
 }
 
 double ecdf::quantile(double q) const {
-    LEVY_PRECONDITION(q > 0.0 && q <= 1.0, "ecdf::quantile: q outside (0, 1]");
+    LEVY_PRECONDITION(q >= 0.0 && q <= 1.0, "ecdf::quantile: q outside [0, 1]");
     const auto n = static_cast<double>(sorted_.size());
-    const auto idx = static_cast<std::size_t>(std::ceil(q * n)) - 1;
+    const auto rank = static_cast<std::size_t>(std::ceil(q * n));
+    const std::size_t idx = rank == 0 ? 0 : rank - 1;  // q = 0 -> smallest sample
     return sorted_[std::min(idx, sorted_.size() - 1)];
 }
 

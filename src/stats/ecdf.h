@@ -15,7 +15,9 @@ public:
     /// F̂(x) = fraction of samples <= x.
     [[nodiscard]] double operator()(double x) const noexcept;
 
-    /// Smallest sample value v with F̂(v) >= q, q in (0, 1].
+    /// Smallest sample value v with F̂(v) >= q, for q in [0, 1]; q = 0
+    /// answers the smallest sample, matching stats::quantile's domain so
+    /// the two quantile entry points share one precondition.
     [[nodiscard]] double quantile(double q) const;
 
     [[nodiscard]] std::size_t size() const noexcept { return sorted_.size(); }

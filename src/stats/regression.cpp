@@ -31,6 +31,14 @@ linear_fit_result linear_fit(std::span<const double> xs, std::span<const double>
     out.intercept = my - out.slope * mx;
     // levylint:allow(float-equality) syy is exactly 0 iff every y is identical
     out.r_squared = (syy == 0.0) ? 1.0 : (sxy * sxy) / (sxx * syy);
+    out.points = xs.size();
+    if (xs.size() > 2) {
+        // Residual sum of squares via the algebraic identity SSE = Syy −
+        // slope·Sxy; clamp tiny negative round-off so sqrt stays defined.
+        const double sse = syy - out.slope * sxy;
+        const double resid_var = (sse > 0.0 ? sse : 0.0) / (n - 2.0);
+        out.slope_std_error = std::sqrt(resid_var / sxx);
+    }
     return out;
 }
 

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstddef>
 #include <span>
 
 namespace levy::stats {
@@ -13,6 +14,12 @@ struct linear_fit_result {
     double slope = 0.0;
     double intercept = 0.0;
     double r_squared = 0.0;  ///< coefficient of determination
+    /// Standard error of the slope (sqrt of residual variance over Sxx);
+    /// 0 for an exact two-point fit. slope ± 1.96·slope_std_error is the
+    /// ~95% interval the benches print next to fitted exponents.
+    double slope_std_error = 0.0;
+    /// Points actually used by the fit (loglog_fit skips non-positive ones).
+    std::size_t points = 0;
 };
 
 /// Fit on raw coordinates. Requires at least two points with distinct x.

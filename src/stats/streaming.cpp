@@ -1,0 +1,68 @@
+#include "src/stats/streaming.h"
+
+#include <bit>
+#include <cmath>
+
+#include "src/core/contracts.h"
+
+namespace levy::stats {
+
+confidence_interval normal_interval(const running_summary& s, double z) {
+    return normal_interval(s.mean(), s.std_error(), z);
+}
+
+confidence_interval normal_interval(double estimate, double std_error, double z) noexcept {
+    confidence_interval ci;
+    ci.estimate = estimate;
+    const double h = std_error > 0.0 ? z * std_error : 0.0;
+    ci.lo = estimate - h;
+    ci.hi = estimate + h;
+    return ci;
+}
+
+void log2_sketch::add(std::uint64_t x) noexcept {
+    buckets_[x == 0 ? 0 : static_cast<std::size_t>(std::bit_width(x))] += 1;
+    ++total_;
+}
+
+log2_sketch& log2_sketch::merge(const log2_sketch& other) noexcept {
+    for (std::size_t i = 0; i < kSlots; ++i) buckets_[i] += other.buckets_[i];
+    total_ += other.total_;
+    return *this;
+}
+
+std::uint64_t log2_sketch::count(std::size_t slot) const {
+    LEVY_PRECONDITION(slot < kSlots, "log2_sketch::count: slot out of range");
+    return buckets_[slot];
+}
+
+double log2_sketch::quantile(double q) const {
+    LEVY_PRECONDITION(q >= 0.0 && q <= 1.0, "log2_sketch::quantile: q outside [0, 1]");
+    LEVY_PRECONDITION(total_ > 0, "log2_sketch::quantile: empty sketch");
+    // Target rank in [1, total]: rank 1 is the smallest sample, so q=0 and
+    // q=1 answer the extremes of the bucketed order statistics.
+    const double exact = q * static_cast<double>(total_);
+    std::uint64_t rank = static_cast<std::uint64_t>(std::ceil(exact));
+    if (rank == 0) rank = 1;
+    std::uint64_t before = 0;
+    for (std::size_t slot = 0; slot < kSlots; ++slot) {
+        const std::uint64_t here = buckets_[slot];
+        if (here == 0 || before + here < rank) {
+            before += here;
+            continue;
+        }
+        if (slot == 0) return 0.0;  // the zeros bucket is a point mass
+        // Bucket spans [2^(slot-1), 2^slot); spread its samples uniformly
+        // and take the rank's position. ldexp keeps the edges exact for
+        // every slot (no pow rounding).
+        const double lo = std::ldexp(1.0, static_cast<int>(slot) - 1);
+        const double hi = std::ldexp(1.0, static_cast<int>(slot));
+        const double frac =
+            (static_cast<double>(rank - before) - 0.5) / static_cast<double>(here);
+        return lo + frac * (hi - lo);
+    }
+    // Unreachable while total_ equals the bucket sum; keep a defined answer.
+    return std::ldexp(1.0, 64);
+}
+
+}  // namespace levy::stats

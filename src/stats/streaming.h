@@ -1,0 +1,80 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "src/stats/summary.h"
+
+namespace levy::stats {
+
+/// --- Streaming estimators with uncertainty --------------------------------
+///
+/// The experiments' headline numbers are Monte-Carlo estimates of
+/// heavy-tailed hitting times, so a point estimate without an interval
+/// cannot distinguish paper-exponent drift from sampling noise. Everything
+/// here is computable in one streaming pass (O(1) or fixed O(65) state) and
+/// merges *exactly* — integer bucket addition and the Chan et al. moment
+/// update — so the reported intervals are bit-identical for every thread
+/// count and chunk size, the same determinism contract as the Monte-Carlo
+/// driver itself.
+
+/// A two-sided confidence interval around an estimate.
+struct confidence_interval {
+    double estimate = 0.0;
+    double lo = 0.0;
+    double hi = 0.0;
+    [[nodiscard]] double half_width() const noexcept { return (hi - lo) / 2.0; }
+};
+
+/// Normal-approximation interval for the mean of a `running_summary` at `z`
+/// standard normal quantiles (default ~95%): mean ± z·SE. Valid when the CLT
+/// has kicked in (the benches run >= ~50 trials per row); for the tiny-count
+/// tail use the Wilson interval on the underlying proportion instead.
+/// Degenerate inputs collapse to a zero-width interval at the mean.
+[[nodiscard]] confidence_interval normal_interval(const running_summary& s, double z = 1.96);
+
+/// Same, from a precomputed estimate and standard error.
+[[nodiscard]] confidence_interval normal_interval(double estimate, double std_error,
+                                                  double z = 1.96) noexcept;
+
+/// --- Mergeable streaming quantile sketch -----------------------------------
+///
+/// The fixed-layout log2 bucket scheme the obs registry already uses
+/// (stats::log2_histogram / obs::histogram_spec): slot 0 counts zeros, slot
+/// b >= 1 counts values in [2^(b-1), 2^b). Because the layout is fixed at
+/// 65 slots, two sketches merge by integer bucket addition — commutative
+/// and associative, so a sketch assembled from per-thread shards is
+/// bit-identical for any thread count or merge order. Quantiles are then
+/// answered by rank walk with linear interpolation inside the hit bucket:
+/// deterministic, and accurate to the bucket's resolution (a factor-2
+/// envelope, which is exactly the fidelity the log-log fits need).
+class log2_sketch {
+public:
+    /// Fixed slot count: zeros + one bucket per bit width of a uint64.
+    static constexpr std::size_t kSlots = 65;
+
+    void add(std::uint64_t x) noexcept;
+
+    /// Exact bucketwise merge (commutes; see class comment).
+    log2_sketch& merge(const log2_sketch& other) noexcept;
+
+    [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+    /// Raw slot count (slot 0 = zeros, slot b = [2^(b-1), 2^b)).
+    [[nodiscard]] std::uint64_t count(std::size_t slot) const;
+
+    /// q-quantile for q in [0, 1] (q=0 -> smallest bucketed value, q=1 ->
+    /// largest). Requires a non-empty sketch. Linear interpolation of the
+    /// target rank across the hit bucket's value range.
+    [[nodiscard]] double quantile(double q) const;
+
+    [[nodiscard]] double median() const { return quantile(0.5); }
+
+    /// Bit-identical equality — what the merge-invariance tests pin down.
+    [[nodiscard]] bool operator==(const log2_sketch&) const noexcept = default;
+
+private:
+    std::array<std::uint64_t, kSlots> buckets_{};
+    std::uint64_t total_ = 0;
+};
+
+}  // namespace levy::stats

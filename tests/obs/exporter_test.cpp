@@ -1,0 +1,238 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cctype>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/obs/exporter.h"
+#include "src/obs/json.h"
+#include "src/obs/metrics.h"
+#include "src/sim/monte_carlo.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#define LEVY_TEST_HAVE_SOCKETS 1
+#else
+#define LEVY_TEST_HAVE_SOCKETS 0
+#endif
+
+namespace levy::obs {
+namespace {
+
+class ExporterTest : public ::testing::Test {
+protected:
+    void SetUp() override {
+        stop_metrics_exporter();
+        reset_metrics_registry();
+        sim::reset_metrics();
+    }
+    void TearDown() override { stop_metrics_exporter(); }
+};
+
+bool valid_prom_name(const std::string& name) {
+    if (name.empty()) return false;
+    const auto head = static_cast<unsigned char>(name[0]);
+    if (!(std::isalpha(head) != 0 || name[0] == '_' || name[0] == ':')) return false;
+    for (char c : name) {
+        if (!(std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_' || c == ':')) {
+            return false;
+        }
+    }
+    return true;
+}
+
+/// Minimal parser for the text exposition format: checks line grammar, TYPE
+/// declarations, counter naming, and histogram bucket monotonicity — the
+/// invariants a real Prometheus scraper relies on.
+void parse_exposition(const std::string& text) {
+    std::map<std::string, std::string> types;            // family -> type
+    std::map<std::string, double> last_bucket;           // family -> prev cumulative
+    std::map<std::string, double> inf_bucket;            // family -> le=+Inf value
+    std::map<std::string, double> count_value;           // family -> _count value
+    std::istringstream in(text);
+    std::string line;
+    while (std::getline(in, line)) {
+        ASSERT_FALSE(line.empty()) << "blank line in exposition";
+        if (line.rfind("# TYPE ", 0) == 0) {
+            std::istringstream fields(line.substr(7));
+            std::string family, type;
+            fields >> family >> type;
+            ASSERT_TRUE(valid_prom_name(family)) << family;
+            ASSERT_TRUE(type == "counter" || type == "gauge" || type == "histogram")
+                << type;
+            if (type == "counter") {
+                EXPECT_TRUE(family.size() > 6 &&
+                            family.compare(family.size() - 6, 6, "_total") == 0)
+                    << "counter family must end in _total: " << family;
+            }
+            types[family] = type;
+            continue;
+        }
+        ASSERT_NE(line[0], '#') << "unknown comment form: " << line;
+        const std::size_t space = line.rfind(' ');
+        ASSERT_NE(space, std::string::npos) << line;
+        const std::string series = line.substr(0, space);
+        const std::string value_text = line.substr(space + 1);
+        double value = 0.0;
+        ASSERT_NO_THROW(value = std::stod(value_text)) << line;
+        std::string name = series;
+        std::optional<std::string> le;
+        if (const std::size_t brace = series.find('{'); brace != std::string::npos) {
+            ASSERT_EQ(series.back(), '}') << line;
+            name = series.substr(0, brace);
+            const std::string labels = series.substr(brace + 1, series.size() - brace - 2);
+            ASSERT_EQ(labels.rfind("le=\"", 0), 0u) << "only le labels expected: " << line;
+            le = labels.substr(4, labels.size() - 5);
+        }
+        ASSERT_TRUE(valid_prom_name(name)) << name;
+        // Find the declaring family: exact, or name minus a histogram suffix.
+        std::string family = name;
+        for (const char* suffix : {"_bucket", "_sum", "_count"}) {
+            const std::string s(suffix);
+            if (types.count(family) == 0 && name.size() > s.size() &&
+                name.compare(name.size() - s.size(), s.size(), s) == 0) {
+                family = name.substr(0, name.size() - s.size());
+            }
+        }
+        ASSERT_EQ(types.count(family), 1u) << "sample before # TYPE: " << line;
+        if (le.has_value()) {
+            ASSERT_EQ(types[family], "histogram") << line;
+            // Cumulative buckets never decrease; +Inf is the last and largest.
+            const auto prev = last_bucket.find(family);
+            if (prev != last_bucket.end()) {
+                EXPECT_GE(value, prev->second) << line;
+            }
+            last_bucket[family] = value;
+            if (*le == "+Inf") inf_bucket[family] = value;
+        } else if (name == family + "_count") {
+            count_value[family] = value;
+        }
+    }
+    ASSERT_FALSE(types.empty());
+    for (const auto& [family, type] : types) {
+        if (type != "histogram") continue;
+        ASSERT_EQ(inf_bucket.count(family), 1u) << family << " lacks le=\"+Inf\"";
+        ASSERT_EQ(count_value.count(family), 1u) << family << " lacks _count";
+        EXPECT_DOUBLE_EQ(inf_bucket[family], count_value[family]) << family;
+    }
+}
+
+TEST_F(ExporterTest, PrometheusNameSanitizes) {
+    EXPECT_EQ(prometheus_name("mc.trials_completed"), "mc_trials_completed");
+    EXPECT_EQ(prometheus_name("checkpoint.flush_ns"), "checkpoint_flush_ns");
+    EXPECT_EQ(prometheus_name("weird name!"), "weird_name_");
+    EXPECT_EQ(prometheus_name("9lives"), "_lives");  // no leading digit
+    EXPECT_EQ(prometheus_name(""), "_");
+}
+
+TEST_F(ExporterTest, ExpositionTextParses) {
+    get_counter("mc.trials_completed").add(42);
+    set_gauge("checkpoint.last_flush_seconds", 1.5);
+    get_histogram("test.log2", {}).observe_u64(1000);
+    const histogram_spec linear{histogram_spec::scale::linear, 0.0, 10.0, 5};
+    get_histogram("test.linear", linear).observe(3.0);
+    const std::string text = prometheus_text();
+    parse_exposition(text);
+    EXPECT_NE(text.find("levy_mc_trials_completed_total 42\n"), std::string::npos);
+    EXPECT_NE(text.find("levy_checkpoint_last_flush_seconds 1.5\n"), std::string::npos);
+    EXPECT_NE(text.find("levy_test_log2_bucket{le=\"1023\"} "), std::string::npos);
+    EXPECT_NE(text.find("levy_run_trials_total "), std::string::npos);
+}
+
+#if LEVY_TEST_HAVE_SOCKETS
+
+std::string http_get(unsigned short port, const std::string& path,
+                     std::string* status_line = nullptr) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) return {};
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+        ::close(fd);
+        return {};
+    }
+    const std::string req = "GET " + path + " HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n";
+    (void)!::send(fd, req.data(), req.size(), 0);
+    std::string response;
+    char buf[4096];
+    for (;;) {
+        const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+        if (n <= 0) break;
+        response.append(buf, static_cast<std::size_t>(n));
+    }
+    ::close(fd);
+    const std::size_t eol = response.find("\r\n");
+    if (status_line != nullptr && eol != std::string::npos) {
+        *status_line = response.substr(0, eol);
+    }
+    const std::size_t body = response.find("\r\n\r\n");
+    return body == std::string::npos ? std::string{} : response.substr(body + 4);
+}
+
+TEST_F(ExporterTest, ServesHealthMetricsAndProgress) {
+    get_counter("mc.trials_completed").add(7);
+    const unsigned short port = start_metrics_exporter(0);
+    ASSERT_GT(port, 0);
+    EXPECT_TRUE(metrics_exporter_active());
+
+    EXPECT_EQ(http_get(port, "/healthz"), "ok\n");
+    const std::string metrics = http_get(port, "/metrics");
+    parse_exposition(metrics);
+    EXPECT_NE(metrics.find("levy_mc_trials_completed_total 7\n"), std::string::npos);
+
+    const std::string progress = http_get(port, "/progress");
+    const json doc = json::parse(progress);
+    EXPECT_EQ(doc.at("completed").as_number(), 7.0);
+
+    std::string status;
+    (void)http_get(port, "/nope", &status);
+    EXPECT_EQ(status, "HTTP/1.1 404 Not Found");
+
+    EXPECT_THROW(start_metrics_exporter(0), std::logic_error);
+    stop_metrics_exporter();
+    EXPECT_FALSE(metrics_exporter_active());
+}
+
+TEST_F(ExporterTest, ConcurrentScrapesAllSucceed) {
+    get_counter("mc.trials_completed").add(5);
+    const unsigned short port = start_metrics_exporter(0);
+    std::atomic<int> ok{0};
+    std::vector<std::thread> clients;
+    for (int t = 0; t < 8; ++t) {
+        clients.emplace_back([&, t] {
+            const std::string path = t % 2 == 0 ? "/metrics" : "/progress";
+            for (int i = 0; i < 5; ++i) {
+                if (!http_get(port, path).empty()) ok.fetch_add(1);
+            }
+        });
+    }
+    for (auto& c : clients) c.join();
+    // The server answers serially, so every request eventually lands.
+    EXPECT_EQ(ok.load(), 40);
+    const std::string text = http_get(port, "/metrics");
+    parse_exposition(text);
+}
+
+TEST_F(ExporterTest, RestartableAfterStop) {
+    const unsigned short first = start_metrics_exporter(0);
+    stop_metrics_exporter();
+    const unsigned short second = start_metrics_exporter(0);
+    EXPECT_GT(second, 0);
+    EXPECT_FALSE(http_get(second, "/healthz").empty());
+    (void)first;
+}
+
+#endif  // LEVY_TEST_HAVE_SOCKETS
+
+}  // namespace
+}  // namespace levy::obs

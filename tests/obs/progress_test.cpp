@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+
+#include "src/obs/metrics.h"
+#include "src/obs/progress.h"
+#include "src/sim/monte_carlo.h"
+
+namespace levy::obs {
+namespace {
+
+class ProgressTest : public ::testing::Test {
+protected:
+    void SetUp() override {
+        stop_progress();  // in case a prior test leaked a sampler
+        reset_metrics_registry();
+        sim::reset_metrics();
+    }
+    void TearDown() override { stop_progress(); }
+};
+
+TEST_F(ProgressTest, SnapshotReadsDriverCounters) {
+    get_counter(kTrialsPlannedCounter).add(100);
+    get_counter(kTrialsCompletedCounter).add(40);
+    const progress_snapshot s = snapshot_progress();
+    EXPECT_EQ(s.planned, 100u);
+    EXPECT_EQ(s.completed, 40u);
+    EXPECT_EQ(s.censored, 0u);
+    EXPECT_LT(s.checkpoint_age_seconds, 0.0);  // no flush yet
+}
+
+TEST_F(ProgressTest, CheckpointGaugeBecomesAge) {
+    set_gauge(kCheckpointFlushGauge, monotonic_seconds());
+    const progress_snapshot s = snapshot_progress();
+    EXPECT_GE(s.checkpoint_age_seconds, 0.0);
+    EXPECT_LT(s.checkpoint_age_seconds, 5.0);
+}
+
+TEST_F(ProgressTest, StartStopLifecycle) {
+    EXPECT_FALSE(progress_active());
+    start_progress({.interval_seconds = 0.05, .label = "T"});
+    EXPECT_TRUE(progress_active());
+    EXPECT_THROW(start_progress({.interval_seconds = 0.05, .label = "T"}),
+                 std::logic_error);
+    get_counter(kTrialsPlannedCounter).add(10);
+    get_counter(kTrialsCompletedCounter).add(10);
+    std::this_thread::sleep_for(std::chrono::milliseconds(120));
+    stop_progress();
+    EXPECT_FALSE(progress_active());
+    stop_progress();  // idempotent
+    // Restartable after stop.
+    start_progress({.interval_seconds = 0.05, .label = "T2"});
+    EXPECT_TRUE(progress_active());
+    stop_progress();
+}
+
+TEST_F(ProgressTest, StartRejectsNonPositiveInterval) {
+    EXPECT_THROW(start_progress({.interval_seconds = 0.0, .label = ""}),
+                 std::invalid_argument);
+}
+
+TEST_F(ProgressTest, FormatLineCarriesEveryField) {
+    progress_snapshot s;
+    s.label = "E6";
+    s.phase = "sweep";
+    s.planned = 5760;
+    s.completed = 1120;
+    s.censored = 3;
+    s.elapsed_seconds = 35.0;
+    s.trials_per_sec = 3210.0;
+    s.eta_seconds = 87.0;
+    s.checkpoint_age_seconds = 1.2;
+    const std::string line = format_progress_line(s);
+    EXPECT_EQ(line,
+              "progress [E6]: 1120/5760 trials (19.4%) | 3210 trials/s | phase sweep | "
+              "3 censored | ckpt 1.2s ago | ETA 1m27s | elapsed 35s");
+}
+
+TEST_F(ProgressTest, FormatLineOmitsUnknowns) {
+    progress_snapshot s;
+    s.completed = 7;
+    const std::string line = format_progress_line(s);
+    EXPECT_EQ(line, "progress: 7 trials | 0 trials/s | ETA ? | elapsed 0s");
+}
+
+TEST_F(ProgressTest, JsonUsesNullForUnknowns) {
+    progress_snapshot s;
+    s.label = "E1";
+    s.planned = 10;
+    s.completed = 5;
+    const json doc = progress_to_json(s);
+    EXPECT_TRUE(doc.at("eta_seconds").is_null());
+    EXPECT_TRUE(doc.at("checkpoint_age_seconds").is_null());
+    EXPECT_EQ(doc.at("label").as_string(), "E1");
+    EXPECT_EQ(doc.at("planned").as_number(), 10.0);
+    s.eta_seconds = 2.5;
+    s.checkpoint_age_seconds = 0.5;
+    const json doc2 = progress_to_json(s);
+    EXPECT_DOUBLE_EQ(doc2.at("eta_seconds").as_number(), 2.5);
+    EXPECT_DOUBLE_EQ(doc2.at("checkpoint_age_seconds").as_number(), 0.5);
+}
+
+TEST_F(ProgressTest, MonteCarloRunFeedsPlannedAndCompleted) {
+    sim::mc_options opts;
+    opts.trials = 25;
+    opts.threads = 1;
+    (void)sim::monte_carlo_collect(opts, [](std::size_t i, rng&) { return static_cast<int>(i); });
+    const progress_snapshot s = snapshot_progress();
+    EXPECT_EQ(s.planned, 25u);
+    EXPECT_EQ(s.completed, 25u);
+}
+
+TEST_F(ProgressTest, MonotonicSecondsAdvances) {
+    const double a = monotonic_seconds();
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    const double b = monotonic_seconds();
+    EXPECT_GT(b, a);
+}
+
+}  // namespace
+}  // namespace levy::obs

@@ -51,6 +51,41 @@ TEST(RunOptions, ParsesAllFlags) {
     EXPECT_EQ(opts.max_trial_steps, 4096u);
 }
 
+TEST(RunOptions, ParsesProgressAndMetricsPort) {
+    std::vector<std::string> args = {"--progress", "--metrics-port=9464"};
+    auto argv = argv_of(args);
+    const auto opts = parse_run_options(static_cast<int>(argv.size()), argv.data());
+    EXPECT_DOUBLE_EQ(opts.progress_seconds, 2.0);  // bare flag: default cadence
+    EXPECT_EQ(opts.metrics_port, 9464);
+
+    std::vector<std::string> args2 = {"--progress=0.5", "--metrics-port=0"};
+    auto argv2 = argv_of(args2);
+    const auto opts2 = parse_run_options(static_cast<int>(argv2.size()), argv2.data());
+    EXPECT_DOUBLE_EQ(opts2.progress_seconds, 0.5);
+    EXPECT_EQ(opts2.metrics_port, 0);  // 0 = ephemeral port
+
+    std::vector<std::string> none;
+    auto argv3 = argv_of(none);
+    const auto opts3 = parse_run_options(static_cast<int>(argv3.size()), argv3.data());
+    EXPECT_DOUBLE_EQ(opts3.progress_seconds, 0.0);  // off by default
+    EXPECT_EQ(opts3.metrics_port, -1);
+}
+
+TEST(RunOptions, RejectsBadProgressAndMetricsPort) {
+    for (const char* bad : {"--progress=0", "--progress=-1", "--metrics-port=65536",
+                            "--metrics-port=-2", "--metrics-port=x"}) {
+        std::vector<std::string> args = {bad};
+        auto argv = argv_of(args);
+        EXPECT_THROW((void)parse_run_options(static_cast<int>(argv.size()), argv.data()),
+                     std::invalid_argument)
+            << bad;
+    }
+    std::vector<std::string> dup = {"--progress", "--progress=3"};
+    auto argv = argv_of(dup);
+    EXPECT_THROW((void)parse_run_options(static_cast<int>(argv.size()), argv.data()),
+                 std::invalid_argument);
+}
+
 TEST(RunOptions, McForwardsChunk) {
     run_options opts;
     opts.chunk = 32;

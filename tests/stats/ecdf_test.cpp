@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "src/stats/ecdf.h"
+#include "src/stats/summary.h"
 
 namespace levy::stats {
 namespace {
@@ -42,12 +43,25 @@ TEST(Ecdf, SortedSamplesExposed) {
     EXPECT_EQ(f.size(), 3u);
 }
 
+// Regression: the quantile domain is [0, 1] in both ecdf::quantile and
+// stats::quantile — q = 0 used to throw here while stats::quantile accepted
+// it, so code moving between the two tripped on the boundary.
+TEST(Ecdf, QuantileDomainMatchesStatsQuantile) {
+    const std::vector<double> xs = {10.0, 20.0, 30.0, 40.0};
+    const ecdf f(xs);
+    EXPECT_DOUBLE_EQ(f.quantile(0.0), 10.0);
+    EXPECT_DOUBLE_EQ(f.quantile(1.0), 40.0);
+    EXPECT_DOUBLE_EQ(f.quantile(0.0), quantile(xs, 0.0));
+    EXPECT_DOUBLE_EQ(f.quantile(1.0), quantile(xs, 1.0));
+}
+
 TEST(Ecdf, Errors) {
     const std::vector<double> empty;
     EXPECT_THROW(ecdf{empty}, std::invalid_argument);
     const std::vector<double> xs = {1.0};
     const ecdf f(xs);
-    EXPECT_THROW((void)f.quantile(0.0), std::invalid_argument);
+    EXPECT_DOUBLE_EQ(f.quantile(0.0), 1.0);  // boundary is in-domain now
+    EXPECT_THROW((void)f.quantile(-0.01), std::invalid_argument);
     EXPECT_THROW((void)f.quantile(1.5), std::invalid_argument);
 }
 

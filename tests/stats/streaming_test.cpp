@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <random>
+#include <stdexcept>
+#include <vector>
+
+#include "src/stats/streaming.h"
+#include "src/stats/summary.h"
+
+namespace levy::stats {
+namespace {
+
+TEST(NormalInterval, MatchesBatchSummaryToTolerance) {
+    std::mt19937_64 gen(42);
+    std::lognormal_distribution<double> dist(2.0, 1.5);
+    std::vector<double> xs;
+    running_summary stream;
+    for (int i = 0; i < 5000; ++i) {
+        const double x = dist(gen);
+        xs.push_back(x);
+        stream.add(x);
+    }
+    const running_summary batch = summarize(xs);
+    // The streaming accumulator IS the batch path internally, so agreement
+    // is exact; 1e-12 relative bounds any future reimplementation.
+    EXPECT_NEAR(stream.mean(), batch.mean(), 1e-12 * std::fabs(batch.mean()));
+    EXPECT_NEAR(stream.variance(), batch.variance(), 1e-12 * batch.variance());
+    EXPECT_NEAR(stream.std_error(), batch.std_error(), 1e-12 * batch.std_error());
+    const confidence_interval ci = normal_interval(stream);
+    EXPECT_DOUBLE_EQ(ci.estimate, stream.mean());
+    EXPECT_NEAR(ci.half_width(), 1.96 * stream.std_error(), 1e-12);
+    EXPECT_LT(ci.lo, ci.estimate);
+    EXPECT_GT(ci.hi, ci.estimate);
+}
+
+TEST(NormalInterval, MergedShardsMatchSingleAccumulator) {
+    std::mt19937_64 gen(7);
+    std::exponential_distribution<double> dist(0.125);
+    running_summary whole;
+    std::vector<running_summary> shards(5);
+    for (int i = 0; i < 4000; ++i) {
+        const double x = dist(gen);
+        whole.add(x);
+        shards[static_cast<std::size_t>(i) % shards.size()].add(x);
+    }
+    running_summary merged;
+    for (const running_summary& s : shards) merged.merge(s);
+    EXPECT_EQ(merged.count(), whole.count());
+    EXPECT_NEAR(merged.mean(), whole.mean(), 1e-12 * std::fabs(whole.mean()));
+    EXPECT_NEAR(merged.variance(), whole.variance(), 1e-12 * whole.variance());
+}
+
+TEST(NormalInterval, DegenerateInputsCollapseToPoint) {
+    running_summary one;
+    one.add(3.5);
+    const confidence_interval ci = normal_interval(one);
+    EXPECT_DOUBLE_EQ(ci.estimate, 3.5);
+    EXPECT_DOUBLE_EQ(ci.lo, 3.5);
+    EXPECT_DOUBLE_EQ(ci.hi, 3.5);
+    EXPECT_DOUBLE_EQ(ci.half_width(), 0.0);
+    const confidence_interval direct = normal_interval(1.0, 0.0);
+    EXPECT_DOUBLE_EQ(direct.lo, direct.hi);
+}
+
+TEST(Log2Sketch, BucketsMatchLogLayout) {
+    log2_sketch s;
+    s.add(0);
+    s.add(1);
+    s.add(2);
+    s.add(3);
+    s.add(1024);
+    EXPECT_EQ(s.total(), 5u);
+    EXPECT_EQ(s.count(0), 1u);  // zeros
+    EXPECT_EQ(s.count(1), 1u);  // [1, 2)
+    EXPECT_EQ(s.count(2), 2u);  // [2, 4)
+    EXPECT_EQ(s.count(11), 1u); // [1024, 2048)
+}
+
+TEST(Log2Sketch, QuantileDomainAndMonotonicity) {
+    log2_sketch s;
+    for (std::uint64_t x = 1; x <= 1000; ++x) s.add(x);
+    // Full [0, 1] domain, monotone in q, endpoints inside the data's span.
+    double prev = -1.0;
+    for (double q = 0.0; q <= 1.0; q += 0.05) {
+        const double v = s.quantile(q);
+        EXPECT_GE(v, prev);
+        prev = v;
+    }
+    EXPECT_GE(s.quantile(0.0), 1.0);
+    EXPECT_LE(s.quantile(1.0), 1024.0);  // top bucket edge
+    // Median of 1..1000 within its bucket's factor-2 envelope.
+    EXPECT_GE(s.median(), 256.0);
+    EXPECT_LE(s.median(), 1024.0);
+    EXPECT_THROW((void)s.quantile(-0.01), std::invalid_argument);
+    EXPECT_THROW((void)s.quantile(1.01), std::invalid_argument);
+    EXPECT_THROW((void)log2_sketch{}.quantile(0.5), std::invalid_argument);
+}
+
+TEST(Log2Sketch, MergeIsExactAndOrderInvariant) {
+    std::mt19937_64 gen(99);
+    std::uniform_int_distribution<std::uint64_t> dist(0, std::uint64_t{1} << 40);
+    std::vector<std::uint64_t> xs(3000);
+    for (auto& x : xs) x = dist(gen);
+
+    log2_sketch serial;
+    for (std::uint64_t x : xs) serial.add(x);
+
+    // Partition as 2, 3, and 7 "threads" and merge in different orders; the
+    // result must be bit-identical every time (operator== compares buckets).
+    for (const std::size_t parts : {2u, 3u, 7u}) {
+        std::vector<log2_sketch> shards(parts);
+        for (std::size_t i = 0; i < xs.size(); ++i) shards[i % parts].add(xs[i]);
+        log2_sketch forward;
+        for (const auto& s : shards) forward.merge(s);
+        log2_sketch backward;
+        for (auto it = shards.rbegin(); it != shards.rend(); ++it) backward.merge(*it);
+        EXPECT_TRUE(forward == serial);
+        EXPECT_TRUE(backward == serial);
+    }
+}
+
+TEST(Log2Sketch, QuantileInterpolatesInsideBucket) {
+    log2_sketch s;
+    for (int i = 0; i < 100; ++i) s.add(2);  // all mass in [2, 4)
+    EXPECT_GE(s.quantile(0.0), 2.0);
+    EXPECT_LE(s.quantile(1.0), 4.0);
+    EXPECT_LT(s.quantile(0.25), s.quantile(0.75));
+}
+
+TEST(Log2Sketch, ZerosArePointMass) {
+    log2_sketch s;
+    s.add(0);
+    s.add(0);
+    EXPECT_DOUBLE_EQ(s.quantile(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(s.quantile(1.0), 0.0);
+}
+
+}  // namespace
+}  // namespace levy::stats

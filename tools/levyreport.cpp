@@ -9,8 +9,16 @@
 //                               experiments loaded from BASELINE
 //   levyreport --check DIR      validate every document against schema v1;
 //                               exit 1 (listing the problems) on any failure
+//   --fail-on-regression=PCT    with a BASELINE: exit 1 when any experiment's
+//                               trials/s dropped more than PCT percent below
+//                               its baseline (the CI bench-smoke gate)
 //
-// Exit codes: 0 clean, 1 validation failure or bad usage, 2 I/O error.
+// Paper drift is noise-aware: when a measured/fit cell carries a "± h" 95%
+// interval (the benches' CI columns), only the part of |measured - paper|
+// beyond h counts as drift — a value inside its own interval reports 0.
+//
+// Exit codes: 0 clean, 1 validation failure / regression / bad usage,
+// 2 I/O error.
 
 #include <algorithm>
 #include <cctype>
@@ -72,6 +80,14 @@ std::optional<double> leading_number(const std::string& cell) {
     }
 }
 
+/// Half-width of a "value ± half" cell (stats::fmt_pm writes the UTF-8 ±);
+/// nullopt when the cell carries no interval.
+std::optional<double> pm_half_width(const std::string& cell) {
+    const std::size_t pm = cell.find("\xc2\xb1");  // "±"
+    if (pm == std::string::npos) return std::nullopt;
+    return leading_number(cell.substr(pm + 2));
+}
+
 bool contains_ci(const std::string& haystack, const std::string& needle) {
     const auto it = std::search(haystack.begin(), haystack.end(), needle.begin(), needle.end(),
                                 [](char a, char b) {
@@ -85,12 +101,16 @@ bool contains_ci(const std::string& haystack, const std::string& needle) {
 /// column with the row's measured/fit column. The benches label their
 /// prediction columns with "paper" and the regression outputs with "fit" /
 /// "measured"/"slope", so this needs no per-experiment schema knowledge.
+/// A measured cell with a "± h" interval only contributes the part of the
+/// gap beyond h: sampling noise inside the estimator's own 95% CI is not
+/// drift.
 std::optional<double> paper_drift(const json& doc) {
     std::optional<double> worst;
     for (const json& row : doc.at("rows").elements()) {
         const json& values = row.at("values");
         std::optional<double> paper;
         std::optional<double> measured;
+        double half_width = 0.0;
         for (const auto& [column, cell] : values.members()) {
             if (!cell.is_string()) continue;
             const auto v = leading_number(cell.as_string());
@@ -100,10 +120,12 @@ std::optional<double> paper_drift(const json& doc) {
             } else if (contains_ci(column, "fit") || contains_ci(column, "measured") ||
                        contains_ci(column, "slope")) {
                 measured = v;
+                half_width = pm_half_width(cell.as_string()).value_or(0.0);
             }
         }
         if (paper && measured) {
-            const double drift = std::fabs(*measured - *paper);
+            const double drift =
+                std::max(0.0, std::fabs(*measured - *paper) - half_width);
             if (!worst || drift > *worst) worst = drift;
         }
     }
@@ -150,7 +172,8 @@ summary summarize(const json& doc) {
 }
 
 int report(const std::vector<loaded_doc>& docs,
-           const std::map<std::string, summary>& baseline) {
+           const std::map<std::string, summary>& baseline,
+           std::optional<double> fail_on_regression_pct) {
     std::vector<std::string> header = {"experiment", "trials", "trials/s", "util", "censored",
                                        "paper drift"};
     const bool compare = !baseline.empty();
@@ -159,8 +182,13 @@ int report(const std::vector<loaded_doc>& docs,
         header.push_back("delta drift");
     }
     levy::stats::text_table table(std::move(header));
+    std::vector<std::string> regressions;
     for (const auto& [file, doc] : docs) {
-        const std::string id = doc.at("experiment").as_string();
+        std::string id = doc.at("experiment").as_string();
+        const json* interrupted = doc.find("interrupted");
+        if (interrupted != nullptr && interrupted->is_bool() && interrupted->as_bool()) {
+            id += " (interrupted)";
+        }
         const summary s = summarize(doc);
         std::vector<std::string> row = {
             id,
@@ -177,32 +205,50 @@ int report(const std::vector<loaded_doc>& docs,
                 row.push_back("new");
             } else {
                 const double base_rate = base->second.trials_per_sec;
-                row.push_back(base_rate > 0.0
-                                  ? levy::stats::fmt(
-                                        (s.trials_per_sec / base_rate - 1.0) * 100.0, 1) + "%"
-                                  : "-");
+                const double delta_pct =
+                    base_rate > 0.0 ? (s.trials_per_sec / base_rate - 1.0) * 100.0 : 0.0;
+                row.push_back(base_rate > 0.0 ? levy::stats::fmt(delta_pct, 1) + "%" : "-");
                 row.push_back(s.drift && base->second.drift
                                   ? levy::stats::fmt(*s.drift - *base->second.drift, 4)
                                   : "-");
+                if (fail_on_regression_pct && -delta_pct > *fail_on_regression_pct) {
+                    regressions.push_back(id + ": " + levy::stats::fmt(-delta_pct, 1) +
+                                          "% slower than baseline (tolerance " +
+                                          levy::stats::fmt(*fail_on_regression_pct, 1) +
+                                          "%)");
+                }
             }
         }
         table.add_row(std::move(row));
     }
     table.print(std::cout);
-    return 0;
+    for (const std::string& r : regressions) {
+        std::cerr << "levyreport: throughput regression — " << r << '\n';
+    }
+    return regressions.empty() ? 0 : 1;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
     bool check_mode = false;
+    std::optional<double> fail_on_regression_pct;
     std::vector<std::string> dirs;
+    constexpr const char* kUsage =
+        "usage: levyreport [--check] [--fail-on-regression=PCT] DIR [BASELINE_DIR]\n";
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--check") {
             check_mode = true;
+        } else if (arg.rfind("--fail-on-regression=", 0) == 0) {
+            const auto pct = leading_number(arg.substr(std::string("--fail-on-regression=").size()));
+            if (!pct || *pct < 0.0) {
+                std::cerr << "levyreport: --fail-on-regression needs a percentage >= 0\n";
+                return 1;
+            }
+            fail_on_regression_pct = pct;
         } else if (arg == "--help" || arg == "-h") {
-            std::cout << "usage: levyreport [--check] DIR [BASELINE_DIR]\n";
+            std::cout << kUsage;
             return 0;
         } else if (!arg.empty() && arg[0] == '-') {
             std::cerr << "levyreport: unknown flag " << arg << '\n';
@@ -211,8 +257,12 @@ int main(int argc, char** argv) {
             dirs.push_back(arg);
         }
     }
-    if (dirs.empty() || dirs.size() > 2 || (check_mode && dirs.size() != 1)) {
-        std::cerr << "usage: levyreport [--check] DIR [BASELINE_DIR]\n";
+    if (dirs.empty() || dirs.size() > 2 || (check_mode && dirs.size() != 1) ||
+        (fail_on_regression_pct && dirs.size() != 2)) {
+        if (fail_on_regression_pct && dirs.size() != 2) {
+            std::cerr << "levyreport: --fail-on-regression requires a BASELINE_DIR\n";
+        }
+        std::cerr << kUsage;
         return 1;
     }
     try {
@@ -228,7 +278,7 @@ int main(int argc, char** argv) {
                 baseline.emplace(doc.at("experiment").as_string(), summarize(doc));
             }
         }
-        return report(docs, baseline);
+        return report(docs, baseline, fail_on_regression_pct);
     } catch (const std::exception& e) {
         std::cerr << "levyreport: " << e.what() << '\n';
         return 2;
