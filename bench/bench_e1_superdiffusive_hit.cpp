@@ -40,7 +40,9 @@ void run(const sim::run_options& opts) {
             const auto budget = static_cast<std::uint64_t>(
                 kBudgetFactor * theory::t_ell(alpha, static_cast<double>(ell)));
             const sim::single_walk_config cfg{.alpha = alpha, .ell = ell, .budget = budget,
-                                              .max_steps = opts.max_trial_steps};
+                                              .cap = opts.cap,
+                                              .max_steps = opts.max_trial_steps,
+                                              .engine = opts.engine};
             const auto mc = opts.mc(/*default_trials=*/2000,
                                     /*salt=*/static_cast<std::uint64_t>(ell) * 1000 +
                                         static_cast<std::uint64_t>(alpha * 100));

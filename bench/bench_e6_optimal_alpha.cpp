@@ -45,6 +45,8 @@ void sweep(const sim::run_options& opts, std::size_t k, std::int64_t ell,
         cfg.ell = ell;
         cfg.budget = budget;
         cfg.max_steps = opts.max_trial_steps;
+        cfg.cap = opts.cap;
+        cfg.engine = opts.engine;
         const auto mc = opts.mc(/*default_trials=*/80,
                                 /*salt=*/static_cast<std::uint64_t>(alpha * 1000) + k);
         const auto sample = sim::parallel_hitting_times(cfg, mc);

@@ -45,6 +45,8 @@ void run(const sim::run_options& opts) {
                         static_cast<double>(k) +
                     static_cast<double>(ell)));
         cfg.max_steps = opts.max_trial_steps;
+        cfg.cap = opts.cap;
+        cfg.engine = opts.engine;
         const auto mc = opts.mc(/*default_trials=*/150, /*salt=*/k);
         const auto sample = sim::parallel_hitting_times(cfg, mc);
         const double med = stats::median(sample.times);

@@ -5,7 +5,7 @@
 namespace levy {
 
 levy_flight::levy_flight(double alpha, rng stream, point start, std::uint64_t cap)
-    : jumps_(alpha), stream_(stream), pos_(start), cap_(cap) {}
+    : jumps_(alpha, cap), stream_(stream), pos_(start), cap_(cap) {}
 
 point levy_flight::step() {
     const std::uint64_t d = jumps_.sample_capped(stream_, cap_);

@@ -5,7 +5,8 @@
 namespace levy {
 
 levy_walk::levy_walk(double alpha, rng stream, point start, std::uint64_t cap)
-    : jumps_(alpha), stream_(stream), pos_(start), cap_(cap) {}
+    : jumps_(alpha, cap), stream_(stream), path_stream_(stream.substream(0)), pos_(start),
+      cap_(cap) {}
 
 void levy_walk::begin_phase() {
     ++phases_;
@@ -15,13 +16,16 @@ void levy_walk::begin_phase() {
         return;
     }
     const point destination = sample_ring(pos_, static_cast<std::int64_t>(jump_len_), stream_);
+    // Tie coins for this phase's path come from a substream keyed by the
+    // (1-based) phase number — see the class comment for why.
+    path_stream_ = stream_.substream(phases_);
     path_.emplace(pos_, destination);
 }
 
 point levy_walk::step() {
     if (!in_phase()) begin_phase();
     if (path_ && !path_->done()) {
-        pos_ = path_->advance(stream_);
+        pos_ = path_->advance(path_stream_);
     }
     // d = 0 phases leave pos_ unchanged for exactly one step.
     ++steps_;

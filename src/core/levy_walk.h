@@ -24,6 +24,15 @@ namespace levy {
 ///
 /// The process is not Markov on positions alone; the in-phase progress is
 /// part of the state and is fully encapsulated here.
+///
+/// Randomness discipline: phase-level draws (the jump length's coin/Zipf
+/// draws and the ring destination) come from the walk's main stream; the
+/// direct path's tie-break coins come from a throwaway per-phase substream,
+/// `stream.substream(phase_number)`. Substream derivation is pure (seed
+/// based, consumes nothing), so the main stream's position after a phase is
+/// independent of how many ties the path hit — which is what lets the
+/// batched engine (sim/walk_engine) skip whole phases in O(1) while staying
+/// bit-exact with this scalar loop.
 class levy_walk {
 public:
     /// `stream` becomes this walk's private randomness source. `cap`
@@ -54,6 +63,7 @@ private:
 
     jump_distribution jumps_;
     rng stream_;
+    rng path_stream_;  // per-phase substream feeding the path's tie coins
     point pos_;
     std::uint64_t cap_;
     std::uint64_t steps_ = 0;

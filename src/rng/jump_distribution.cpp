@@ -12,6 +12,16 @@ jump_distribution::jump_distribution(double alpha) : alpha_(alpha), zipf_(alpha)
     c_ = 1.0 / (2.0 * riemann_zeta(alpha));
 }
 
+jump_distribution::jump_distribution(double alpha, std::uint64_t cap)
+    : jump_distribution(alpha) {
+    // cap == 1 keeps the dedicated shortcut in zipf_sampler::sample_capped
+    // (returns 1 without drawing); an alias table there would add a wasted
+    // bounded-integer draw per phase.
+    if (cap != kNoCap && cap >= 2 && cap <= kAliasCapThreshold) {
+        alias_.emplace(alpha, cap);
+    }
+}
+
 double jump_distribution::pmf(std::uint64_t i) const {
     if (i == 0) return 0.5;
     return c_ * std::pow(static_cast<double>(i), -alpha_);

@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <limits>
+#include <optional>
 
 #include "src/rng/rng_stream.h"
 #include "src/rng/zipf.h"
@@ -27,15 +28,38 @@ public:
     /// α must exceed 1 (Remark 3.5 allows any α ≥ 1 + ε); throws otherwise.
     explicit jump_distribution(double alpha);
 
+    /// As above, but *prepared* for drawing conditioned on d ≤ cap: for
+    /// 2 ≤ cap ≤ kAliasCapThreshold an O(cap) Walker alias table is built
+    /// once and `sample_capped(g, cap)` then draws in O(1) instead of
+    /// running Devroye rejection + inverse-CDF fallback. The selection is a
+    /// pure function of (α, cap), so any two distributions constructed with
+    /// the same pair consume identical randomness — the scalar walk and the
+    /// batched engine rely on this for bit-exact parity.
+    jump_distribution(double alpha, std::uint64_t cap);
+
+    /// Caps up to this build the alias fast path (above it, table setup
+    /// would dominate short walks; the rejection sampler stays O(1) memory).
+    static constexpr std::uint64_t kAliasCapThreshold = 4096;
+
     /// Draw a jump length.
     [[nodiscard]] std::uint64_t sample(rng& g) const {
         return g.coin() ? 0 : zipf_(g);
     }
 
-    /// Draw conditioned on d ≤ cap.
+    /// Draw conditioned on d ≤ cap. Uses the alias table iff this
+    /// distribution was prepared for exactly this cap (see the capped
+    /// constructor); the RNG draw pattern differs between the two paths, so
+    /// replayers must construct their distribution the same way.
     [[nodiscard]] std::uint64_t sample_capped(rng& g, std::uint64_t cap) const {
         if (cap == kNoCap) return sample(g);
-        return g.coin() ? 0 : zipf_.sample_capped(g, cap);
+        if (g.coin()) return 0;
+        if (alias_ && alias_->cap() == cap) return (*alias_)(g);
+        return zipf_.sample_capped(g, cap);
+    }
+
+    /// True when `sample_capped(g, cap)` would take the alias fast path.
+    [[nodiscard]] bool uses_alias(std::uint64_t cap) const noexcept {
+        return alias_.has_value() && alias_->cap() == cap;
     }
 
     /// P(d = i).
@@ -62,6 +86,7 @@ private:
     double alpha_;
     double c_;
     zipf_sampler zipf_;
+    std::optional<zipf_alias_sampler> alias_;  // engaged by the capped ctor
 };
 
 }  // namespace levy

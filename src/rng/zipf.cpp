@@ -45,19 +45,21 @@ std::uint64_t zipf_sampler::sample_capped(rng& g, std::uint64_t cap) const {
     // ~ 1 - cap^{1-α}, which for small caps with α near 1 can be tiny — the
     // unbounded loop would spin for thousands of draws. Bound the rejection
     // attempts and fall back to exact inverse-CDF sampling over [1, cap].
-    constexpr int kMaxRejections = 64;
     for (int attempt = 0; attempt < kMaxRejections; ++attempt) {
         const std::uint64_t x = (*this)(g);
         if (x <= cap) return x;
     }
-    // Inverse CDF of the truncated law: find the smallest m in [1, cap]
-    // with H(m, α) >= u · H(cap, α), where H is the generalized harmonic
-    // number (partial zeta sum). Binary search keeps this O(log cap)
-    // evaluations — no O(cap) table even for astronomical caps.
+    // Inverse CDF of the truncated law: the smallest m in [1, cap] with
+    // H(m, α) >= u · H(cap, α), where H is the generalized harmonic number
+    // (partial zeta sum). Bisect with the O(1) Euler–Maclaurin evaluation
+    // only until the bracket is narrow, then finish with one incremental
+    // power-sum sweep — probing H(mid, α) at every level cost O(mid) per
+    // probe in the direct-summation regime, i.e. O(cap log cap) per draw.
     const double total = harmonic(cap, alpha_);
     const double u = g.uniform() * total;
+    constexpr std::uint64_t kSweepWidth = 512;
     std::uint64_t lo = 1, hi = cap;
-    while (lo < hi) {
+    while (hi - lo > kSweepWidth) {
         const std::uint64_t mid = lo + (hi - lo) / 2;
         if (harmonic(mid, alpha_) >= u) {
             hi = mid;
@@ -65,11 +67,20 @@ std::uint64_t zipf_sampler::sample_capped(rng& g, std::uint64_t cap) const {
             lo = mid + 1;
         }
     }
-    LEVY_ASSERT(lo >= 1 && lo <= cap, "zipf_sampler: inverse-CDF fallback out of range");
-    return lo;
+    // One harmonic evaluation anchors the sweep; each further term is a
+    // single pow. The sweep's accumulation can differ from H(m, α) by an
+    // ulp, which only ever shifts the returned value by at most one — still
+    // a valid inverse-CDF draw, and the same one on every replay.
+    double acc = lo == 1 ? 0.0 : harmonic(lo - 1, alpha_);
+    for (std::uint64_t m = lo; m < hi; ++m) {
+        acc += std::pow(static_cast<double>(m), -alpha_);
+        if (acc >= u) return m;
+    }
+    LEVY_ASSERT(hi >= 1 && hi <= cap, "zipf_sampler: inverse-CDF fallback out of range");
+    return hi;
 }
 
-zipf_table_sampler::zipf_table_sampler(double alpha, std::uint64_t cap) {
+zipf_table_sampler::zipf_table_sampler(double alpha, std::uint64_t cap) : alpha_(alpha) {
     LEVY_PRECONDITION(alpha > 0.0, "zipf_table_sampler: alpha must be > 0");
     LEVY_PRECONDITION(cap >= 1 && cap <= (1ULL << 28), "zipf_table_sampler: cap must be in [1, 2^28]");
     cdf_.resize(cap);
@@ -78,20 +89,76 @@ zipf_table_sampler::zipf_table_sampler(double alpha, std::uint64_t cap) {
         acc += std::pow(static_cast<double>(k), -alpha);
         cdf_[k - 1] = acc;
     }
+    partition_ = acc;
+    inv_norm_ = 1.0 / acc;
     for (auto& c : cdf_) c /= acc;
     cdf_.back() = 1.0;  // guard against round-off
 }
 
-std::uint64_t zipf_table_sampler::operator()(rng& g) const {
-    const double u = g.uniform();
+std::uint64_t zipf_table_sampler::quantile(double u) const {
     const auto it = std::upper_bound(cdf_.begin(), cdf_.end(), u);
+    // u >= cdf_.back() (possible for u >= 1, or if round-off ever left the
+    // backstop below an achievable uniform) must clamp to cap, not index
+    // one past the table.
+    if (it == cdf_.end()) return cdf_.size();
     return static_cast<std::uint64_t>(it - cdf_.begin()) + 1;
 }
 
 double zipf_table_sampler::pmf(std::uint64_t k) const {
     if (k < 1 || k > cdf_.size()) return 0.0;
-    const double lo = (k == 1) ? 0.0 : cdf_[k - 2];
-    return cdf_[k - 1] - lo;
+    // Direct evaluation. Differencing adjacent CDF entries loses absolute
+    // precision ~ulp(1) per entry, which in the tail (where true masses are
+    // ~k^{-α}·inv_norm) is a large *relative* error.
+    return std::pow(static_cast<double>(k), -alpha_) * inv_norm_;
+}
+
+zipf_alias_sampler::zipf_alias_sampler(double alpha, std::uint64_t cap) : alpha_(alpha) {
+    LEVY_PRECONDITION(alpha > 0.0, "zipf_alias_sampler: alpha must be > 0");
+    LEVY_PRECONDITION(cap >= 1 && cap <= (1ULL << 28), "zipf_alias_sampler: cap must be in [1, 2^28]");
+    // Accumulate the partition in the same index order as zipf_table_sampler
+    // so partition_/inv_norm_ (and hence pmf) agree with it bit-for-bit.
+    const std::size_t n = static_cast<std::size_t>(cap);
+    std::vector<double> scaled(n);
+    double acc = 0.0;
+    for (std::uint64_t k = 1; k <= cap; ++k) {
+        const double w = std::pow(static_cast<double>(k), -alpha);
+        scaled[k - 1] = w;
+        acc += w;
+    }
+    partition_ = acc;
+    inv_norm_ = 1.0 / acc;
+    // Vose's stable alias construction: scale masses to mean 1, pair each
+    // deficit column with a surplus donor. Deterministic (stack order is a
+    // pure function of the weights), so tables rebuild identically.
+    const double scale = inv_norm_ * static_cast<double>(n);
+    for (auto& s : scaled) s *= scale;
+    prob_.assign(n, 1.0);
+    alias_.resize(n);
+    for (std::size_t j = 0; j < n; ++j) alias_[j] = static_cast<std::uint32_t>(j);
+    std::vector<std::uint32_t> small, large;
+    small.reserve(n);
+    large.reserve(n);
+    for (std::size_t j = 0; j < n; ++j) {
+        (scaled[j] < 1.0 ? small : large).push_back(static_cast<std::uint32_t>(j));
+    }
+    while (!small.empty() && !large.empty()) {
+        const std::uint32_t s = small.back();
+        small.pop_back();
+        const std::uint32_t l = large.back();
+        large.pop_back();
+        prob_[s] = scaled[s];
+        alias_[s] = l;
+        scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+        (scaled[l] < 1.0 ? small : large).push_back(l);
+    }
+    // Leftovers on either stack are within round-off of exactly 1; their
+    // prob_ entries stay 1.0 (alias never taken), which is the standard
+    // numerically robust finish.
+}
+
+double zipf_alias_sampler::pmf(std::uint64_t k) const {
+    if (k < 1 || k > prob_.size()) return 0.0;
+    return std::pow(static_cast<double>(k), -alpha_) * inv_norm_;
 }
 
 }  // namespace levy

@@ -28,7 +28,17 @@ public:
     /// unconditioned sampler while it is cheap, with an exact inverse-CDF
     /// fallback over [1, cap] after a bounded number of rejections, so
     /// small caps with α near 1 cannot make the draw spin unboundedly.
+    ///
+    /// RNG-draw contract (the batched walk engine replays these streams, so
+    /// it is pinned by tests/rng/zipf_test.cpp): exactly `kMaxRejections`
+    /// full rejection draws via operator(), then exactly one uniform for
+    /// the inverse-CDF fallback. The fallback's harmonic-number bisection
+    /// consumes no randomness at all.
     [[nodiscard]] std::uint64_t sample_capped(rng& g, std::uint64_t cap) const;
+
+    /// Rejection attempts before sample_capped switches to the exact
+    /// inverse-CDF fallback (part of the draw-count contract above).
+    static constexpr int kMaxRejections = 64;
 
     [[nodiscard]] double alpha() const noexcept { return alpha_; }
 
@@ -41,21 +51,73 @@ private:
 
 /// Reference sampler for Zipf(α) truncated to {1, …, cap}: exact inverse-CDF
 /// over a precomputed table. O(cap) memory, O(log cap) per draw. Used for
-/// small caps and as the ground truth the rejection sampler is tested
-/// against.
+/// small caps and as the ground truth the rejection and alias samplers are
+/// tested against.
 class zipf_table_sampler {
 public:
     zipf_table_sampler(double alpha, std::uint64_t cap);
 
-    [[nodiscard]] std::uint64_t operator()(rng& g) const;
+    [[nodiscard]] std::uint64_t operator()(rng& g) const { return quantile(g.uniform()); }
 
-    /// P(X = k) under the truncated law; 0 outside {1, …, cap}.
+    /// Inverse CDF: the smallest k with P(X <= k) >= u, clamped to [1, cap]
+    /// for every finite u — in particular quantile(u) == cap for any
+    /// u >= 1, so float round-off in the table can never index past it.
+    [[nodiscard]] std::uint64_t quantile(double u) const;
+
+    /// P(X = k) under the truncated law; 0 outside {1, …, cap}. Computed as
+    /// k^{-α} / H(cap, α) directly (never by differencing adjacent CDF
+    /// entries, which loses up to ~cap·ε of relative precision in the
+    /// tail), so Σ_k pmf(k) reproduces the normalized partition sum exactly
+    /// up to one rounding of the final division.
     [[nodiscard]] double pmf(std::uint64_t k) const;
 
     [[nodiscard]] std::uint64_t cap() const noexcept { return cdf_.size(); }
+    [[nodiscard]] double alpha() const noexcept { return alpha_; }
+
+    /// The partition sum H(cap, α) = Σ_{k=1..cap} k^{-α} as accumulated at
+    /// construction (term order k = 1, 2, …), i.e. exactly 1 / inv_norm.
+    [[nodiscard]] double partition() const noexcept { return partition_; }
 
 private:
-    std::vector<double> cdf_;  // cdf_[k-1] = P(X <= k), normalized to cdf_.back() == 1
+    double alpha_;
+    double partition_;  // H(cap, α), accumulated in index order
+    double inv_norm_;   // 1 / partition_
+    std::vector<double> cdf_;  // cdf_[k-1] = P(X <= k), cdf_.back() == 1
+};
+
+/// Walker alias-table sampler for Zipf(α) truncated to {1, …, cap}: O(cap)
+/// setup, O(1) per draw (one bounded integer + one uniform), no rejection
+/// loop. This is the batched walk engine's sampler of choice for the capped
+/// regime, where millions of draws share one (α, cap); `jump_distribution`
+/// selects it automatically for caps up to its alias threshold.
+///
+/// The pmf is computed exactly as zipf_table_sampler computes it (same
+/// accumulation order, same normalizer), so the two agree bit-for-bit —
+/// the table sampler stays authoritative and the equivalence is testable
+/// without statistical slack.
+class zipf_alias_sampler {
+public:
+    zipf_alias_sampler(double alpha, std::uint64_t cap);
+
+    [[nodiscard]] std::uint64_t operator()(rng& g) const {
+        const std::uint64_t j = g.below(prob_.size());
+        return g.uniform() < prob_[j] ? j + 1 : alias_[j] + 1;
+    }
+
+    /// P(X = k); bit-identical to zipf_table_sampler::pmf for the same
+    /// (α, cap). 0 outside {1, …, cap}.
+    [[nodiscard]] double pmf(std::uint64_t k) const;
+
+    [[nodiscard]] std::uint64_t cap() const noexcept { return prob_.size(); }
+    [[nodiscard]] double alpha() const noexcept { return alpha_; }
+    [[nodiscard]] double partition() const noexcept { return partition_; }
+
+private:
+    double alpha_;
+    double partition_;  // H(cap, α), accumulated in index order
+    double inv_norm_;   // 1 / partition_
+    std::vector<double> prob_;          // acceptance threshold per column
+    std::vector<std::uint32_t> alias_;  // donor index per column
 };
 
 }  // namespace levy

@@ -142,12 +142,24 @@ run_options parse_run_options(int argc, char** argv) {
             opts.progress_seconds = parse_number<double>(p, "progress");
         } else if (auto mp = eat("--metrics-port"); !mp.empty()) {
             opts.metrics_port = parse_number<int>(mp, "metrics-port");
+        } else if (auto en = eat("--engine"); !en.empty()) {
+            if (en == "scalar") {
+                opts.engine = engine_kind::scalar;
+            } else if (en == "batch") {
+                opts.engine = engine_kind::batch;
+            } else {
+                throw std::invalid_argument("--engine must be scalar or batch, got: " +
+                                            std::string(en));
+            }
+        } else if (auto cp = eat("--cap"); !cp.empty()) {
+            const auto cap = parse_number<std::uint64_t>(cp, "cap");
+            opts.cap = cap == 0 ? kNoCap : cap;
         } else if (arg == "--help" || arg == "-h") {
             throw std::invalid_argument(
                 "usage: [--trials=N] [--scale=S] [--threads=T] [--chunk=C] [--seed=X] "
                 "[--csv=PATH] [--checkpoint=DIR] [--checkpoint-interval=K] "
                 "[--max-steps-per-trial=M] [--json=PATH|-] [--json-dir=DIR] [--trace=PATH] "
-                "[--progress[=SECS]] [--metrics-port=P]");
+                "[--progress[=SECS]] [--metrics-port=P] [--engine=scalar|batch] [--cap=C]");
         } else {
             throw std::invalid_argument("unknown argument: " + std::string(arg));
         }
@@ -204,6 +216,8 @@ std::vector<std::pair<std::string, std::string>> describe_options(const run_opti
     if (opts.metrics_port >= 0) {
         out.emplace_back("metrics-port", std::to_string(opts.metrics_port));
     }
+    out.emplace_back("engine", opts.engine == engine_kind::batch ? "batch" : "scalar");
+    if (opts.cap != kNoCap) out.emplace_back("cap", std::to_string(opts.cap));
     return out;
 }
 

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "src/sim/monte_carlo.h"
+#include "src/sim/trial.h"
 
 namespace levy::sim {
 
@@ -39,6 +40,16 @@ namespace levy::sim {
 ///   --metrics-port=P        serve /metrics (Prometheus), /healthz and
 ///                           /progress on 0.0.0.0:P while the run is live
 ///                           (P=0 picks an ephemeral port, printed to stderr)
+///   --engine=E              walk-trial engine, "batch" (default) or
+///                           "scalar"; results are bit-identical, only
+///                           throughput differs (see sim/walk_engine.h)
+///   --cap=C                 truncate jump lengths at C (0 = uncapped, the
+///                           default) — the truncated-Zipf regime of the
+///                           intermittent variants; capped runs with C at or
+///                           below the alias threshold are where the batch
+///                           engine's shared distribution cache pays most
+///                           (the scalar path rebuilds an O(C) table per
+///                           walker per trial)
 /// Unknown arguments, malformed/empty values, and duplicated flags all
 /// throw, so typos fail loudly.
 struct run_options {
@@ -56,6 +67,8 @@ struct run_options {
     std::string trace_path;                ///< --trace (empty = off)
     double progress_seconds = 0.0;         ///< --progress interval (0 = off)
     int metrics_port = -1;                 ///< --metrics-port (-1 = off, 0 = ephemeral)
+    engine_kind engine = engine_kind::batch;  ///< --engine
+    std::uint64_t cap = kNoCap;               ///< --cap (kNoCap = uncapped)
 
     /// mc_options with this run's trials (or `default_trials` when the user
     /// didn't override) and a per-use salt so distinct experiment phases in

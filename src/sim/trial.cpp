@@ -4,6 +4,7 @@
 
 #include "src/core/levy_flight.h"
 #include "src/core/levy_walk.h"
+#include "src/sim/walk_engine.h"
 
 namespace levy::sim {
 namespace {
@@ -27,8 +28,13 @@ R finish(R r, std::uint64_t ran, std::uint64_t intended) {
 }  // namespace
 
 hit_result single_walk_trial(const single_walk_config& cfg, rng stream) {
-    levy_walk walk(cfg.alpha, stream, origin, cfg.cap);
     const std::uint64_t ran = effective_budget(cfg.budget, cfg.max_steps);
+    if (cfg.engine == engine_kind::batch) {
+        return finish(walk_engine::local().run_single(cfg.alpha, target_at(cfg.ell), ran,
+                                                      stream, cfg.cap),
+                      ran, cfg.budget);
+    }
+    levy_walk walk(cfg.alpha, stream, origin, cfg.cap);
     return finish(hit_within(walk, point_target{target_at(cfg.ell)}, ran), ran, cfg.budget);
 }
 
@@ -50,6 +56,11 @@ stats::proportion flight_hit_probability(const single_walk_config& cfg, const mc
 
 parallel_result parallel_walk_trial(const parallel_walk_config& cfg, rng stream) {
     const std::uint64_t ran = effective_budget(cfg.budget, cfg.max_steps);
+    if (cfg.engine == engine_kind::batch) {
+        return finish(walk_engine::local().run_parallel(cfg.k, cfg.strategy, target_at(cfg.ell),
+                                                        ran, stream, cfg.cap),
+                      ran, cfg.budget);
+    }
     return finish(parallel_hit(cfg.k, cfg.strategy, target_at(cfg.ell), ran, stream, cfg.cap),
                   ran, cfg.budget);
 }

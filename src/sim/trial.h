@@ -19,6 +19,16 @@ namespace levy::sim {
 /// tests/integration/symmetry_test.cpp spot-checks that rotations agree.
 [[nodiscard]] constexpr point target_at(std::int64_t ell) noexcept { return {ell, 0}; }
 
+/// Which simulation engine runs walk trials. Both produce bit-identical
+/// results for the same config and stream (guarded by
+/// tests/sim/walk_engine_test.cpp); `batch` is the default because it skips
+/// non-candidate phases in O(1) (see sim/walk_engine.h), `scalar` remains
+/// the step-by-step reference implementation.
+enum class engine_kind : std::uint8_t {
+    scalar,  ///< levy_walk stepped through hit_within / parallel_min_hit
+    batch,   ///< SoA epoch engine (sim/walk_engine)
+};
+
 /// --- Single-walk experiments (Theorems 1.1–1.3) -------------------------
 
 struct single_walk_config {
@@ -32,6 +42,8 @@ struct single_walk_config {
     /// or silently biasing means. Deterministic (steps, not wall clock), so
     /// checkpoint/resume stays bit-identical.
     std::uint64_t max_steps = 0;
+    /// Engine choice (results are engine-independent; see engine_kind).
+    engine_kind engine = engine_kind::batch;
 };
 
 /// One trial: a fresh Lévy walk from the origin vs u* = (ℓ, 0).
@@ -56,6 +68,8 @@ struct parallel_walk_config {
     std::uint64_t cap = kNoCap;
     /// Watchdog step cap, as in single_walk_config (0 = full budget).
     std::uint64_t max_steps = 0;
+    /// Engine choice (results are engine-independent; see engine_kind).
+    engine_kind engine = engine_kind::batch;
 };
 
 /// One trial of τ^k against u* = (ℓ, 0).

@@ -1,0 +1,280 @@
+#include "src/sim/walk_engine.h"
+
+#include <algorithm>
+#include <bit>
+#include <utility>
+
+#include "src/core/contracts.h"
+#include "src/grid/ring.h"
+
+namespace levy::sim {
+namespace {
+// Same 128-bit exact comparison the scalar stepper uses (grid/direct_path).
+__extension__ typedef __int128 int128;
+
+/// Beyond this many cached (α, cap) jump distributions, drop the cache
+/// between runs: continuous strategies (uniform_exponent) produce a fresh α
+/// per walker and would otherwise grow it without bound.
+constexpr std::size_t kDistCacheLimit = 1024;
+}  // namespace
+
+walk_engine& walk_engine::local() {
+    thread_local walk_engine engine;
+    return engine;
+}
+
+void walk_engine::clear(std::uint64_t cap) {
+    // The distribution cache is keyed by (α, cap); entries for another cap
+    // — or an overgrown cache — are useless, so reset and let walkers
+    // rebuild. Rebuilds are deterministic, so pooling never affects results.
+    if (!dists_.empty() && (dists_.front().cap != cap || dists_.size() > kDistCacheLimit)) {
+        dists_.clear();
+    }
+    cap_ = cap;
+    ids_.clear();
+    main_.clear();
+    path_.clear();
+    dist_ix_.clear();
+    x_.clear();
+    y_.clear();
+    elapsed_.clear();
+    phase_.clear();
+    total_.clear();
+    j_.clear();
+    adx_.clear();
+    ady_.clear();
+    sx_.clear();
+    sy_.clear();
+    px_.clear();
+    py_.clear();
+    destx_.clear();
+    desty_.clear();
+    istar_.clear();
+    pxt_.clear();
+}
+
+std::uint32_t walk_engine::dist_for(double alpha) {
+    const std::uint64_t bits = std::bit_cast<std::uint64_t>(alpha);
+    for (std::size_t i = 0; i < dists_.size(); ++i) {
+        if (dists_[i].alpha_bits == bits) return static_cast<std::uint32_t>(i);
+    }
+    dists_.push_back({bits, cap_, jump_distribution(alpha, cap_)});
+    return static_cast<std::uint32_t>(dists_.size() - 1);
+}
+
+void walk_engine::spawn(std::size_t id, double alpha, rng stream) {
+    ids_.push_back(id);
+    main_.push_back(stream);
+    // Placeholder until the first d >= 1 phase derives the real substream.
+    path_.push_back(stream.substream(0));
+    dist_ix_.push_back(dist_for(alpha));
+    x_.push_back(origin.x);
+    y_.push_back(origin.y);
+    elapsed_.push_back(0);
+    phase_.push_back(0);
+    total_.push_back(0);
+    j_.push_back(0);
+    adx_.push_back(0);
+    ady_.push_back(0);
+    sx_.push_back(1);
+    sy_.push_back(1);
+    px_.push_back(0);
+    py_.push_back(0);
+    destx_.push_back(0);
+    desty_.push_back(0);
+    istar_.push_back(0);
+    pxt_.push_back(0);
+}
+
+void walk_engine::swap_slots(std::size_t a, std::size_t b) noexcept {
+    if (a == b) return;
+    std::swap(ids_[a], ids_[b]);
+    std::swap(main_[a], main_[b]);
+    std::swap(path_[a], path_[b]);
+    std::swap(dist_ix_[a], dist_ix_[b]);
+    std::swap(x_[a], x_[b]);
+    std::swap(y_[a], y_[b]);
+    std::swap(elapsed_[a], elapsed_[b]);
+    std::swap(phase_[a], phase_[b]);
+    std::swap(total_[a], total_[b]);
+    std::swap(j_[a], j_[b]);
+    std::swap(adx_[a], adx_[b]);
+    std::swap(ady_[a], ady_[b]);
+    std::swap(sx_[a], sx_[b]);
+    std::swap(sy_[a], sy_[b]);
+    std::swap(px_[a], px_[b]);
+    std::swap(py_[a], py_[b]);
+    std::swap(destx_[a], destx_[b]);
+    std::swap(desty_[a], desty_[b]);
+    std::swap(istar_[a], istar_[b]);
+    std::swap(pxt_[a], pxt_[b]);
+}
+
+void walk_engine::replay_step(std::size_t w) {
+    bool step_x;
+    if (px_[w] == adx_[w]) {
+        step_x = false;
+    } else if (py_[w] == ady_[w]) {
+        step_x = true;
+    } else {
+        const int128 i1 = static_cast<int128>(px_[w] + py_[w]) + 1;
+        const int128 ex = static_cast<int128>(total_[w]) * px_[w] - i1 * adx_[w];
+        const int128 ey = static_cast<int128>(total_[w]) * py_[w] - i1 * ady_[w];
+        if (ex < ey) {
+            step_x = true;
+        } else if (ey < ex) {
+            step_x = false;
+        } else {
+            step_x = path_[w].coin();
+        }
+    }
+    if (step_x) {
+        ++px_[w];
+    } else {
+        ++py_[w];
+    }
+    ++j_[w];
+}
+
+bool walk_engine::advance_one(std::size_t w, std::uint64_t allowance, point target,
+                              best_state& best) {
+    if (total_[w] == 0) {
+        // Begin a phase: same stream, same draw order as the scalar walk.
+        ++phase_[w];
+        const std::uint64_t d = dists_[dist_ix_[w]].dist.sample_capped(main_[w], cap_);
+        if (d == 0) {
+            // Stay-put phase: exactly one step, position unchanged. The
+            // position is never the target here (a walker retires the step
+            // it first touches the target), so no hit check is needed.
+            ++elapsed_[w];
+            return elapsed_[w] >= allowance;
+        }
+        const point from{x_[w], y_[w]};
+        const point dest = sample_ring(from, static_cast<std::int64_t>(d), main_[w]);
+        const point delta = dest - from;
+        adx_[w] = abs64(delta.x);
+        ady_[w] = abs64(delta.y);
+        sx_[w] = delta.x < 0 ? -1 : 1;
+        sy_[w] = delta.y < 0 ? -1 : 1;
+        total_[w] = d;
+        j_[w] = 0;
+        px_[w] = 0;
+        py_[w] = 0;
+        destx_[w] = dest.x;
+        desty_[w] = dest.y;
+        // The path is monotone along both axes, and its node after step i
+        // is at L1 distance exactly i from `from`; the target can be
+        // visited only if it sits in the bounding box, and then only at
+        // step i* = ‖target − from‖₁ with x-progress exactly tdx.
+        const std::int64_t tdx = sx_[w] * (target.x - from.x);
+        const std::int64_t tdy = sy_[w] * (target.y - from.y);
+        if (tdx >= 0 && tdx <= adx_[w] && tdy >= 0 && tdy <= ady_[w] && tdx + tdy > 0) {
+            istar_[w] = static_cast<std::uint64_t>(tdx + tdy);
+            pxt_[w] = tdx;
+        } else {
+            istar_[w] = 0;
+        }
+        path_[w] = main_[w].substream(phase_[w]);
+    }
+    // Advance within the phase by at most the allowance (and the epoch
+    // quantum, when set). Steps past the candidate i* can neither hit nor
+    // influence any later draw — tie coins live on the throwaway per-phase
+    // substream — so they are skipped arithmetically.
+    const std::uint64_t j0 = j_[w];
+    std::uint64_t take = std::min(total_[w] - j0, allowance - elapsed_[w]);
+    if (opts_.epoch_steps != 0) take = std::min(take, opts_.epoch_steps);
+    const std::uint64_t jend = j0 + take;
+    if (istar_[w] != 0 && j0 < istar_[w]) {
+        const std::uint64_t replay_to = std::min(jend, istar_[w]);
+        while (j_[w] < replay_to) replay_step(w);
+        if (j_[w] == istar_[w]) {
+            if (px_[w] == pxt_[w]) {
+                const std::uint64_t t = elapsed_[w] + (istar_[w] - j0);
+                // Order-independent lex-min registration: better time, or
+                // equal time from a smaller walker index.
+                if (t < best.time || (t == best.time && (!best.hit || ids_[w] < best.winner))) {
+                    best.hit = true;
+                    best.time = t;
+                    best.winner = ids_[w];
+                }
+                return true;  // first visit to the target: the walker is done
+            }
+            istar_[w] = 0;  // passed the only candidate step without hitting
+        }
+    }
+    j_[w] = jend;
+    elapsed_[w] += take;
+    if (j_[w] == total_[w]) {
+        x_[w] = destx_[w];
+        y_[w] = desty_[w];
+        total_[w] = 0;
+    }
+    return elapsed_[w] >= allowance;
+}
+
+walk_engine::best_state walk_engine::drive(point target, std::uint64_t budget) {
+    best_state best;
+    best.time = budget;
+    std::size_t live = ids_.size();
+    while (live > 0) {
+        // One epoch: every live walker advances one phase (or quantum
+        // chunk). The sweep re-reads `best` per walker, so an early hit
+        // immediately shrinks everyone else's allowance; correctness never
+        // depends on that — only the amount of pruned work does.
+        for (std::size_t w = 0; w < live;) {
+            const std::uint64_t allowance = best.hit ? best.time : budget;
+            const bool retire =
+                elapsed_[w] >= allowance || advance_one(w, allowance, target, best);
+            if (retire) {
+                swap_slots(w, live - 1);
+                --live;
+            } else {
+                ++w;
+            }
+        }
+    }
+    return best;
+}
+
+hit_result walk_engine::run_single(double alpha, point target, std::uint64_t budget, rng stream,
+                                   std::uint64_t cap) {
+    if (target == origin) return {true, 0};
+    clear(cap);
+    spawn(0, alpha, stream);
+    const best_state best = drive(target, budget);
+    return {best.hit, best.time};
+}
+
+parallel_result walk_engine::run_parallel(std::size_t k, const exponent_strategy& strategy,
+                                          point target, std::uint64_t budget, rng trial_stream,
+                                          std::uint64_t cap) {
+    parallel_result result;
+    result.time = budget;
+    if (k == 0) return result;
+    if (target == origin) {
+        // Every walker stands on the target at t = 0; walker 0 wins.
+        result.hit = true;
+        result.time = 0;
+        result.winner = 0;
+    } else {
+        clear(cap);
+        for (std::size_t i = 0; i < k; ++i) {
+            rng stream = trial_stream.substream(i);
+            const double alpha = strategy(i, stream);  // consumes the same draws as scalar
+            spawn(i, alpha, stream);
+        }
+        const best_state best = drive(target, budget);
+        result.hit = best.hit;
+        result.time = best.time;
+        result.winner = best.winner;
+    }
+    if (result.hit) {
+        // Same winner-exponent replay as parallel_hit: strategy draws are a
+        // pure function of (trial_stream, walker index).
+        rng walk_stream = trial_stream.substream(result.winner);
+        result.winner_alpha = strategy(result.winner, walk_stream);
+    }
+    return result;
+}
+
+}  // namespace levy::sim

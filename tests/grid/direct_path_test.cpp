@@ -116,6 +116,52 @@ TEST(DirectPath, HugeJumpStaysExact) {
     EXPECT_NEAR(static_cast<double>(s.position().y), 250.0, 2.0);
 }
 
+TEST(DirectPath, DegenerateDeltasAreStraightAndConsumeNoRandomness) {
+    // Δx = 0 or Δy = 0: a tie in the Bresenham comparison would need
+    // px − py = i + 1 with px + py = i, which is impossible, so the stepper
+    // must never draw a coin and must agree with sample_direct_path
+    // node-for-node. Exhaustive over small grids, both axes, both signs,
+    // including the empty d = 0 path.
+    for (std::int64_t fx = -2; fx <= 2; ++fx) {
+        for (std::int64_t fy = -2; fy <= 2; ++fy) {
+            const point from{fx, fy};
+            for (std::int64_t d = -6; d <= 6; ++d) {
+                for (const bool horizontal : {true, false}) {
+                    const point to = horizontal ? point{fx + d, fy} : point{fx, fy + d};
+                    rng g = rng::seeded(0x5eed);
+                    rng gs = rng::seeded(0x5eed);
+                    const auto path = sample_direct_path(from, to, g);
+                    direct_path_stepper s(from, to);
+                    ASSERT_EQ(path.size(), static_cast<std::size_t>(std::abs(d)) + 1);
+                    EXPECT_EQ(s.length(), std::abs(d));
+                    EXPECT_EQ(s.destination(), to);
+                    std::size_t i = 0;
+                    EXPECT_EQ(s.position(), path[i]);
+                    while (!s.done()) {
+                        const point p = s.advance(gs);
+                        ++i;
+                        ASSERT_LT(i, path.size());
+                        ASSERT_EQ(p, path[i]);
+                        // The free axis never moves off the segment.
+                        if (horizontal) {
+                            EXPECT_EQ(p.y, fy);
+                        } else {
+                            EXPECT_EQ(p.x, fx);
+                        }
+                    }
+                    EXPECT_EQ(i + 1, path.size());
+                    // No ties → no coins: both streams are still at the
+                    // starting position.
+                    rng fresh = rng::seeded(0x5eed);
+                    const std::uint64_t expect_next = fresh();
+                    EXPECT_EQ(g(), expect_next) << "sample consumed randomness";
+                    EXPECT_EQ(gs(), expect_next) << "stepper consumed randomness";
+                }
+            }
+        }
+    }
+}
+
 TEST(DirectPath, DeterministicGivenSeed) {
     rng g1 = rng::seeded(42), g2 = rng::seeded(42);
     EXPECT_EQ(sample_direct_path({0, 0}, {13, 8}, g1), sample_direct_path({0, 0}, {13, 8}, g2));

@@ -18,30 +18,34 @@ namespace {
 /// and deterministic (fixed seeds throughout).
 
 TEST(TheoremShapes, NearOptimalExponentBeatsFarOffExponents) {
-    // Cor 4.2: at (k, ℓ) = (16, 64), α* = 3 − log16/log64 ≈ 2.33. A common
-    // exponent near α* should hit far more often within the optimal budget
-    // than α close to 3 (walks too local to reach ℓ reliably... they do
-    // reach but slowly) and than α close to 2 (walks overshoot).
+    // Cor 4.2: at (k, ℓ) = (16, 64), α* = 3 − log16/log64 ≈ 2.33. The two
+    // far-off failure modes show up at different budgets at this scale:
+    // α → 3 walks are too local to reach ℓ inside the optimal-order budget
+    // Θ(ℓ²/k) (Cor 4.2(c)), while α → 2 walks do reach early but overshoot
+    // and waste steps, which costs them only once the budget is generous
+    // enough (ℓ²) for diffusion near α* to cash in (Cor 4.2(b)). Measuring
+    // both margins at a single budget leaves one of them inside noise, so
+    // each comparison runs at the budget where its effect is the signal.
     const std::int64_t ell = 64;
     const std::size_t k = 16;
     const double alpha_star = optimal_alpha(static_cast<double>(k), static_cast<double>(ell));
-    const std::uint64_t budget = 4 * ell * ell / k;  // ~Θ(ℓ²/k)
 
-    const auto prob_at = [&](double alpha, std::uint64_t seed) {
+    const auto prob_at = [&](double alpha, std::uint64_t budget, std::uint64_t seed) {
         parallel_walk_config cfg;
         cfg.k = k;
         cfg.strategy = fixed_exponent(alpha);
         cfg.ell = ell;
         cfg.budget = budget;
-        return parallel_hit_probability(cfg, {.trials = 200, .threads = 0, .seed = seed})
+        return parallel_hit_probability(cfg, {.trials = 800, .threads = 0, .seed = seed})
             .estimate();
     };
 
-    const double p_star = prob_at(alpha_star, 101);
-    const double p_low = prob_at(2.02, 102);
-    const double p_high = prob_at(2.97, 103);
-    EXPECT_GT(p_star, p_low) << "alpha*=" << alpha_star;
-    EXPECT_GT(p_star, p_high) << "alpha*=" << alpha_star;
+    const std::uint64_t tight = 4 * ell * ell / k;  // ~Θ(ℓ²/k)
+    const auto generous = static_cast<std::uint64_t>(ell * ell);
+    EXPECT_GT(prob_at(alpha_star, tight, 101), prob_at(2.97, tight, 103))
+        << "alpha*=" << alpha_star;
+    EXPECT_GT(prob_at(alpha_star, generous, 101), prob_at(2.02, generous, 102))
+        << "alpha*=" << alpha_star;
 }
 
 TEST(TheoremShapes, ParallelSpeedupGrowsWithK) {
@@ -78,7 +82,7 @@ TEST(TheoremShapes, RandomExponentStrategyWorksAcrossDistances) {
         cfg.budget = static_cast<std::uint64_t>(
             50.0 * theory::universal_lower_bound(32.0, static_cast<double>(ell)));
         const auto p = parallel_hit_probability(
-            cfg, {.trials = 60, .threads = 0, .seed = 300 + static_cast<std::uint64_t>(ell)});
+            cfg, {.trials = 240, .threads = 0, .seed = 300 + static_cast<std::uint64_t>(ell)});
         EXPECT_GT(p.estimate(), 0.6) << "ell=" << ell;
     }
 }

@@ -123,6 +123,39 @@ TEST(ZipfSampler, CappedMatchesTableSampler) {
     }
 }
 
+TEST(ZipfTableSampler, QuantileClampsToSupport) {
+    // The inverse CDF must clamp to [1, cap] for every finite u. u >= 1 (or
+    // any u at or above cdf.back()) lands upper_bound at end(); the old code
+    // dereferenced it into an index one past the table.
+    zipf_table_sampler t(2.0, 7);
+    EXPECT_EQ(t.quantile(0.0), 1u);
+    EXPECT_EQ(t.quantile(1.0), 7u);
+    EXPECT_EQ(t.quantile(std::nextafter(1.0, 2.0)), 7u);
+    EXPECT_EQ(t.quantile(2.0), 7u);
+    rng g = rng::seeded(11);
+    for (int i = 0; i < 50000; ++i) {
+        const std::uint64_t x = t(g);
+        ASSERT_GE(x, 1u);
+        ASSERT_LE(x, 7u);
+    }
+}
+
+TEST(ZipfTableSampler, TailPmfKeepsRelativePrecision) {
+    // pmf() must be the direct formula k^{-α}/H(cap, α). The old differencing
+    // of adjacent normalized-CDF entries had absolute error ~ulp(1), which at
+    // a 2^20 tail (true mass ~1e-8) is ~1e-8 *relative* error; the direct
+    // form stays within a couple of ulps. Note Σ pmf telescopes to exactly 1
+    // for the differencing code, so a sum test alone cannot catch this.
+    const double alpha = 1.2;
+    const std::uint64_t cap = 1u << 20;
+    zipf_table_sampler t(alpha, cap);
+    for (const std::uint64_t k :
+         {cap, cap - 1, cap / 2, std::uint64_t{100000}, std::uint64_t{4096}}) {
+        const double expected = std::pow(static_cast<double>(k), -alpha) / t.partition();
+        EXPECT_NEAR(t.pmf(k) / expected, 1.0, 1e-12) << "k=" << k;
+    }
+}
+
 TEST(ZipfTableSampler, PmfSumsToOne) {
     zipf_table_sampler t(2.5, 100);
     double sum = 0.0;
@@ -139,6 +172,108 @@ TEST(ZipfTableSampler, PmfZeroOutsideSupport) {
 TEST(ZipfTableSampler, RejectsBadArguments) {
     EXPECT_THROW(zipf_table_sampler(2.0, 0), std::invalid_argument);
     EXPECT_THROW(zipf_table_sampler(0.0, 10), std::invalid_argument);
+}
+
+TEST(ZipfSampler, CappedDrawCountContractIsPinned) {
+    // The batched walk engine replays walker streams, so sample_capped's
+    // draw count is a frozen contract: up to kMaxRejections full rejection
+    // draws, then exactly one uniform for the inverse-CDF fallback (the
+    // harmonic bisection consumes no randomness). α near 1 with a tiny cap
+    // exercises both branches across seeds.
+    const double alpha = 1.01;
+    const std::uint64_t cap = 2;
+    zipf_sampler z(alpha);
+    int fallbacks = 0, accepts = 0;
+    for (std::uint64_t seed = 1; seed <= 200; ++seed) {
+        rng g = rng::seeded(seed * 2654435761ULL);
+        rng replay = g;
+        const std::uint64_t x = z.sample_capped(g, cap);
+        ASSERT_GE(x, 1u);
+        ASSERT_LE(x, cap);
+        // Manual replay per the documented contract.
+        std::uint64_t manual = 0;
+        for (int attempt = 0; attempt < zipf_sampler::kMaxRejections; ++attempt) {
+            const std::uint64_t y = z(replay);
+            if (y <= cap) {
+                manual = y;
+                ++accepts;
+                break;
+            }
+        }
+        if (manual == 0) {
+            // One uniform drives the fallback; with cap = 2 the inverse CDF
+            // is simply "1 iff u <= 1^{-α} = 1".
+            const double u = replay.uniform() * harmonic(cap, alpha);
+            manual = (1.0 >= u) ? 1 : 2;
+            ++fallbacks;
+        }
+        EXPECT_EQ(x, manual) << "seed=" << seed;
+        // The next raw draw must agree: this pins the *count* of draws
+        // consumed, not merely the returned value.
+        EXPECT_EQ(g(), replay()) << "seed=" << seed;
+    }
+    EXPECT_GT(accepts, 0);
+    EXPECT_GT(fallbacks, 0);
+}
+
+TEST(ZipfAliasSampler, PmfBitIdenticalToTableSampler) {
+    // The alias sampler accumulates the partition in the same index order as
+    // the table sampler, so pmf and partition agree bit-for-bit — no
+    // statistical slack needed; the table stays authoritative.
+    for (const double alpha : {1.1, 1.5, 2.5, 3.0}) {
+        for (const std::uint64_t cap :
+             {std::uint64_t{2}, std::uint64_t{3}, std::uint64_t{10}, std::uint64_t{50},
+              std::uint64_t{1000}}) {
+            zipf_table_sampler table(alpha, cap);
+            zipf_alias_sampler alias(alpha, cap);
+            ASSERT_EQ(alias.cap(), cap);
+            EXPECT_EQ(alias.partition(), table.partition())
+                << "alpha=" << alpha << " cap=" << cap;
+            for (std::uint64_t k = 0; k <= cap + 1; ++k) {
+                EXPECT_EQ(alias.pmf(k), table.pmf(k))
+                    << "alpha=" << alpha << " cap=" << cap << " k=" << k;
+            }
+        }
+    }
+}
+
+TEST(ZipfAliasSampler, ChiSquareAgreesWithTruncatedLaw) {
+    // Goodness of fit of alias draws against the exact truncated law over
+    // the (α, cap) grid the walk engine actually selects the alias for.
+    // Tail bins with expected count < 5 are merged rightward as usual.
+    for (const double alpha : {1.1, 1.5, 2.5, 3.0}) {
+        for (const std::uint64_t cap :
+             {std::uint64_t{2}, std::uint64_t{3}, std::uint64_t{10}, std::uint64_t{50},
+              std::uint64_t{1000}}) {
+            zipf_table_sampler table(alpha, cap);
+            zipf_alias_sampler alias(alpha, cap);
+            rng g = rng::seeded(0xa11a5 + static_cast<std::uint64_t>(alpha * 100) + cap);
+            const int n = 120000;
+            std::vector<int> counts(cap + 1, 0);
+            for (int i = 0; i < n; ++i) {
+                const std::uint64_t x = alias(g);
+                ASSERT_GE(x, 1u);
+                ASSERT_LE(x, cap);
+                ++counts[x];
+            }
+            double chi2 = 0.0;
+            int bins = 0;
+            double exp_bin = 0.0, obs_bin = 0.0;
+            for (std::uint64_t k = 1; k <= cap; ++k) {
+                exp_bin += static_cast<double>(n) * table.pmf(k);
+                obs_bin += static_cast<double>(counts[k]);
+                if (exp_bin >= 5.0 || k == cap) {
+                    chi2 += (obs_bin - exp_bin) * (obs_bin - exp_bin) / exp_bin;
+                    ++bins;
+                    exp_bin = obs_bin = 0.0;
+                }
+            }
+            const double df = std::max(1.0, static_cast<double>(bins - 1));
+            // ~5-sigma band for a chi-square with df degrees of freedom.
+            EXPECT_LT(chi2, df + 6.0 * std::sqrt(2.0 * df) + 3.0)
+                << "alpha=" << alpha << " cap=" << cap << " bins=" << bins;
+        }
+    }
 }
 
 TEST(ZipfSampler, MeanMatchesZetaRatio) {

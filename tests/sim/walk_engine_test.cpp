@@ -1,0 +1,240 @@
+// Streaming-vs-batch parity: the SoA engine (sim/walk_engine) must return
+// bit-identical results to the scalar levy_walk loop for every config, seed,
+// budget edge, and epoch quantum. These tests are the determinism contract
+// of DESIGN.md §"Batched walk engine".
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "src/core/hitting.h"
+#include "src/core/levy_walk.h"
+#include "src/core/parallel_search.h"
+#include "src/core/strategy.h"
+#include "src/grid/point.h"
+#include "src/rng/rng_stream.h"
+#include "src/sim/trial.h"
+#include "src/sim/walk_engine.h"
+
+namespace levy::sim {
+namespace {
+
+hit_result scalar_single(double alpha, point target, std::uint64_t budget, rng stream,
+                         std::uint64_t cap) {
+    levy_walk walk(alpha, stream, origin, cap);
+    return hit_within(walk, target, budget);
+}
+
+void expect_single_parity(walk_engine& engine, double alpha, point target,
+                          std::uint64_t budget, rng stream, std::uint64_t cap) {
+    const hit_result scalar = scalar_single(alpha, target, budget, stream, cap);
+    const hit_result batch = engine.run_single(alpha, target, budget, stream, cap);
+    EXPECT_EQ(scalar, batch) << "alpha=" << alpha << " target=(" << target.x << ","
+                             << target.y << ") budget=" << budget << " cap=" << cap
+                             << " seed=" << stream.seed();
+}
+
+void expect_parallel_parity(walk_engine& engine, std::size_t k,
+                            const exponent_strategy& strategy, point target,
+                            std::uint64_t budget, rng stream, std::uint64_t cap) {
+    const parallel_result scalar = parallel_hit(k, strategy, target, budget, stream, cap);
+    const parallel_result batch = engine.run_parallel(k, strategy, target, budget, stream, cap);
+    EXPECT_EQ(scalar.hit, batch.hit) << "k=" << k << " budget=" << budget;
+    EXPECT_EQ(scalar.time, batch.time) << "k=" << k << " budget=" << budget;
+    EXPECT_EQ(scalar.winner, batch.winner) << "k=" << k << " budget=" << budget;
+    if (scalar.hit) {
+        // Bit-exact replay of the winning exponent, not merely approximate.
+        EXPECT_EQ(scalar.winner_alpha, batch.winner_alpha);
+    } else {
+        EXPECT_TRUE(std::isnan(batch.winner_alpha));
+    }
+}
+
+TEST(WalkEngineSingle, ParityAcrossSeedsAlphasAndBudgets) {
+    walk_engine engine;
+    const std::uint64_t caps[] = {kNoCap, 3, 64, 1024};
+    const double alphas[] = {1.2, 2.05, 2.5, 2.97, 3.5};
+    for (const double alpha : alphas) {
+        for (const std::uint64_t cap : caps) {
+            for (std::uint64_t seed = 1; seed <= 40; ++seed) {
+                expect_single_parity(engine, alpha, point{9, -4}, 700,
+                                     rng::seeded(seed * 977 + 13), cap);
+            }
+        }
+    }
+}
+
+TEST(WalkEngineSingle, BudgetEdges) {
+    walk_engine engine;
+    for (std::uint64_t seed = 1; seed <= 25; ++seed) {
+        const rng stream = rng::seeded(seed);
+        // Budget 0: no phase is ever begun; only the t=0 check runs.
+        expect_single_parity(engine, 2.5, point{5, 5}, 0, stream, kNoCap);
+        // Budget 1: at most one step.
+        expect_single_parity(engine, 2.5, point{1, 0}, 1, stream, kNoCap);
+        // Target at the start: hitting time 0 regardless of budget.
+        expect_single_parity(engine, 2.5, origin, 0, stream, kNoCap);
+        expect_single_parity(engine, 2.5, origin, 100, stream, kNoCap);
+    }
+}
+
+TEST(WalkEngineSingle, StayPutHeavyCapParity) {
+    // cap = 1 makes half of all phases d = 0 (stay-put) and the rest d = 1;
+    // cap = 2 adds two-step phases. Exercises the "one step, one phase"
+    // stay-put accounting in both engines, per the Def. 3.4 semantics.
+    walk_engine engine;
+    for (const std::uint64_t cap : {1ULL, 2ULL, 3ULL}) {
+        for (std::uint64_t seed = 1; seed <= 60; ++seed) {
+            expect_single_parity(engine, 2.2, point{2, 1}, 200, rng::seeded(seed * 31 + 7),
+                                 cap);
+        }
+    }
+}
+
+TEST(WalkEngineSingle, StayPutPhaseCountsOneStepAndOnePhase) {
+    // Direct scalar check of the Def. 3.4 stay-put accounting the parity
+    // tests above rely on: a d=0 phase advances steps by 1 and phases by 1.
+    rng stream = rng::seeded(404);
+    levy_walk walk(2.5, stream, origin, /*cap=*/1);
+    std::uint64_t stay_puts = 0;
+    for (int i = 0; i < 500; ++i) {
+        const std::uint64_t phases_before = walk.phases();
+        const std::uint64_t steps_before = walk.steps();
+        const point before = walk.position();
+        const point after = walk.step();
+        EXPECT_EQ(walk.steps(), steps_before + 1);
+        if (walk.current_jump_length() == 0) {
+            ++stay_puts;
+            EXPECT_EQ(after, before);
+            EXPECT_EQ(walk.phases(), phases_before + 1);
+            EXPECT_FALSE(walk.in_phase());
+        }
+    }
+    // With cap=1, d=0 happens with probability 1/2 per phase.
+    EXPECT_GT(stay_puts, 100u);
+}
+
+TEST(WalkEngineParallel, ParityFixedStrategy) {
+    walk_engine engine;
+    for (const std::size_t k : {1, 2, 7, 32}) {
+        for (std::uint64_t seed = 1; seed <= 30; ++seed) {
+            expect_parallel_parity(engine, k, fixed_exponent(2.4), point{12, 3}, 900,
+                                   rng::seeded(seed * 131), kNoCap);
+        }
+    }
+}
+
+TEST(WalkEngineParallel, ParityRandomizedAndRoundRobinStrategies) {
+    // Strategies that draw from the walker stream shift every subsequent
+    // draw; parity proves the engine consumes the stream identically.
+    walk_engine engine;
+    for (std::uint64_t seed = 1; seed <= 30; ++seed) {
+        expect_parallel_parity(engine, 16, uniform_exponent(), point{10, -10}, 800,
+                               rng::seeded(seed * 193 + 5), kNoCap);
+        expect_parallel_parity(engine, 16, round_robin_exponent(), point{-8, 6}, 800,
+                               rng::seeded(seed * 389 + 1), 128);
+    }
+}
+
+TEST(WalkEngineParallel, ParityEdgeCases) {
+    walk_engine engine;
+    const rng stream = rng::seeded(99);
+    // k = 0: vacuous miss with time = budget.
+    expect_parallel_parity(engine, 0, fixed_exponent(2.5), point{3, 3}, 50, stream, kNoCap);
+    // Budget 0.
+    expect_parallel_parity(engine, 4, fixed_exponent(2.5), point{3, 3}, 0, stream, kNoCap);
+    // Target at the origin: winner must be walker 0 at time 0.
+    expect_parallel_parity(engine, 4, fixed_exponent(2.5), origin, 50, stream, kNoCap);
+    // Tiny caps: stay-put-heavy fleets.
+    for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+        expect_parallel_parity(engine, 8, fixed_exponent(2.1), point{2, 0}, 300,
+                               rng::seeded(seed), 1);
+        expect_parallel_parity(engine, 8, fixed_exponent(2.1), point{2, 0}, 300,
+                               rng::seeded(seed), 2);
+    }
+}
+
+TEST(WalkEngineParallel, ResultsInvariantUnderEpochQuantum) {
+    // Retirement/compaction order varies wildly with the epoch quantum
+    // (quantum 1 suspends every walker each step; large quanta run whole
+    // phases); results must not.
+    const point target{11, -2};
+    for (std::uint64_t seed = 1; seed <= 15; ++seed) {
+        const rng stream = rng::seeded(seed * 7919);
+        walk_engine whole;  // default: full phase per epoch
+        const parallel_result base =
+            whole.run_parallel(12, uniform_exponent(), target, 600, stream, kNoCap);
+        for (const std::uint64_t quantum : {1ULL, 3ULL, 64ULL}) {
+            walk_engine chunked(engine_options{.epoch_steps = quantum});
+            const parallel_result r =
+                chunked.run_parallel(12, uniform_exponent(), target, 600, stream, kNoCap);
+            EXPECT_EQ(base.hit, r.hit) << "quantum=" << quantum;
+            EXPECT_EQ(base.time, r.time) << "quantum=" << quantum;
+            EXPECT_EQ(base.winner, r.winner) << "quantum=" << quantum;
+        }
+    }
+}
+
+TEST(WalkEngineSingle, ResultsInvariantUnderEpochQuantum) {
+    for (std::uint64_t seed = 1; seed <= 15; ++seed) {
+        const rng stream = rng::seeded(seed * 104729);
+        walk_engine whole;
+        const hit_result base = whole.run_single(2.3, point{7, 7}, 500, stream, 64);
+        for (const std::uint64_t quantum : {1ULL, 3ULL, 64ULL}) {
+            walk_engine chunked(engine_options{.epoch_steps = quantum});
+            EXPECT_EQ(base, chunked.run_single(2.3, point{7, 7}, 500, stream, 64))
+                << "quantum=" << quantum;
+        }
+    }
+}
+
+TEST(WalkEngineTrial, TrialDispatchAgreesBetweenEngines) {
+    // The public trial API must give byte-identical outcomes for
+    // --engine=scalar and --engine=batch, including watchdog censoring.
+    for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+        single_walk_config s;
+        s.alpha = 2.4;
+        s.ell = 6;
+        s.budget = 400;
+        s.max_steps = 150;  // watchdog truncates: censoring must agree too
+        s.engine = engine_kind::scalar;
+        const hit_result rs = single_walk_trial(s, rng::seeded(seed));
+        s.engine = engine_kind::batch;
+        const hit_result rb = single_walk_trial(s, rng::seeded(seed));
+        EXPECT_EQ(rs, rb);
+
+        parallel_walk_config p;
+        p.k = 6;
+        p.strategy = uniform_exponent();
+        p.ell = 8;
+        p.budget = 500;
+        p.max_steps = 200;
+        p.engine = engine_kind::scalar;
+        const parallel_result ps = parallel_walk_trial(p, rng::seeded(seed + 1000));
+        p.engine = engine_kind::batch;
+        const parallel_result pb = parallel_walk_trial(p, rng::seeded(seed + 1000));
+        EXPECT_EQ(ps.hit, pb.hit);
+        EXPECT_EQ(ps.time, pb.time);
+        EXPECT_EQ(ps.winner, pb.winner);
+        EXPECT_EQ(ps.censored, pb.censored);
+    }
+}
+
+TEST(WalkEnginePool, LocalEngineIsReusableAcrossConfigs) {
+    // The pooled thread-local engine must give the same answers as a fresh
+    // instance even when runs alternate caps and alphas (cache churn).
+    walk_engine& pooled = walk_engine::local();
+    for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+        for (const std::uint64_t cap : {kNoCap, std::uint64_t{16}, std::uint64_t{512}}) {
+            walk_engine fresh;
+            const rng stream = rng::seeded(seed * 37 + cap % 97);
+            EXPECT_EQ(fresh.run_single(2.6, point{4, 4}, 300, stream, cap),
+                      pooled.run_single(2.6, point{4, 4}, 300, stream, cap));
+        }
+    }
+}
+
+}  // namespace
+}  // namespace levy::sim
