@@ -138,7 +138,7 @@ inline std::int64_t scaled(std::int64_t base, double scale) {
 /// `levy::parallel_min_hit`, so the early-exit logic lives in one place.
 template <class Factory>
 hit_result parallel_hit_generic(std::size_t k, point target, std::uint64_t budget,
-                                rng trial_stream, Factory&& make) {
+                                const rng& trial_stream, Factory&& make) {
     const parallel_result r =
         parallel_min_hit(k, target, budget, trial_stream, std::forward<Factory>(make));
     return {r.hit, r.time};

@@ -5,7 +5,7 @@
 namespace levy {
 
 parallel_result parallel_hit(std::size_t k, const exponent_strategy& strategy, point target,
-                             std::uint64_t budget, rng trial_stream, std::uint64_t cap) {
+                             std::uint64_t budget, const rng& trial_stream, std::uint64_t cap) {
     parallel_result best =
         parallel_min_hit(k, target, budget, trial_stream, [&](std::size_t i, rng& stream) {
             const double alpha = strategy(i, stream);
@@ -22,7 +22,7 @@ parallel_result parallel_hit(std::size_t k, const exponent_strategy& strategy, p
 }
 
 std::vector<double> strategy_exponents(std::size_t k, const exponent_strategy& strategy,
-                                       rng trial_stream) {
+                                       const rng& trial_stream) {
     std::vector<double> alphas;
     alphas.reserve(k);
     for (std::size_t i = 0; i < k; ++i) {

@@ -41,7 +41,7 @@ struct parallel_result {
 /// NaN; callers that know the exponents fill it in.
 template <class Factory>
 parallel_result parallel_min_hit(std::size_t k, point target, std::uint64_t budget,
-                                 rng trial_stream, Factory&& make) {
+                                 const rng& trial_stream, Factory&& make) {
     parallel_result best;
     best.time = budget;
     const point_target goal{target};
@@ -72,13 +72,13 @@ parallel_result parallel_min_hit(std::size_t k, point target, std::uint64_t budg
 /// once an early walk hits. Results are a pure function of
 /// (trial_stream seed, k, strategy, target, budget).
 [[nodiscard]] parallel_result parallel_hit(std::size_t k, const exponent_strategy& strategy,
-                                           point target, std::uint64_t budget, rng trial_stream,
-                                           std::uint64_t cap = kNoCap);
+                                           point target, std::uint64_t budget,
+                                           const rng& trial_stream, std::uint64_t cap = kNoCap);
 
 /// The exponents a strategy would assign to walks 0..k-1 under
 /// `trial_stream` — exactly those `parallel_hit` uses. For reporting.
 [[nodiscard]] std::vector<double> strategy_exponents(std::size_t k,
                                                      const exponent_strategy& strategy,
-                                                     rng trial_stream);
+                                                     const rng& trial_stream);
 
 }  // namespace levy

@@ -141,6 +141,10 @@ bool walk_engine::advance_one(std::size_t w, std::uint64_t allowance, point targ
     if (total_[w] == 0) {
         // Begin a phase: same stream, same draw order as the scalar walk.
         ++phase_[w];
+        // levylint:allow(conditional-main-draw): the phase-start guard is
+        // pure in the walker's own draw history (total_ hits 0 exactly when
+        // the scalar walk starts a phase), so the draw count replays
+        // bit-exactly — pinned by walk_engine_test scalar/batch parity.
         const std::uint64_t d = dists_[dist_ix_[w]].dist.sample_capped(main_[w], cap_);
         if (d == 0) {
             // Stay-put phase: exactly one step, position unchanged. The
@@ -150,6 +154,9 @@ bool walk_engine::advance_one(std::size_t w, std::uint64_t allowance, point targ
             return elapsed_[w] >= allowance;
         }
         const point from{x_[w], y_[w]};
+        // levylint:allow(conditional-main-draw): scalar parity — levy_walk
+        // also skips the ring draw on stay-put phases (d == 0), so the
+        // branch is replayed identically from the same stream state.
         const point dest = sample_ring(from, static_cast<std::int64_t>(d), main_[w]);
         const point delta = dest - from;
         adx_[w] = abs64(delta.x);
@@ -236,8 +243,8 @@ walk_engine::best_state walk_engine::drive(point target, std::uint64_t budget) {
     return best;
 }
 
-hit_result walk_engine::run_single(double alpha, point target, std::uint64_t budget, rng stream,
-                                   std::uint64_t cap) {
+hit_result walk_engine::run_single(double alpha, point target, std::uint64_t budget,
+                                   const rng& stream, std::uint64_t cap) {
     if (target == origin) return {true, 0};
     clear(cap);
     spawn(0, alpha, stream);
@@ -246,8 +253,8 @@ hit_result walk_engine::run_single(double alpha, point target, std::uint64_t bud
 }
 
 parallel_result walk_engine::run_parallel(std::size_t k, const exponent_strategy& strategy,
-                                          point target, std::uint64_t budget, rng trial_stream,
-                                          std::uint64_t cap) {
+                                          point target, std::uint64_t budget,
+                                          const rng& trial_stream, std::uint64_t cap) {
     parallel_result result;
     result.time = budget;
     if (k == 0) return result;

@@ -68,13 +68,13 @@ public:
     /// `hit_within(levy_walk(alpha, stream, origin, cap), target, budget)`.
     /// `censored` is left false — the caller owns watchdog semantics.
     [[nodiscard]] hit_result run_single(double alpha, point target, std::uint64_t budget,
-                                        rng stream, std::uint64_t cap = kNoCap);
+                                        const rng& stream, std::uint64_t cap = kNoCap);
 
     /// One parallel trial: bit-exact with `parallel_hit` on the same
     /// arguments (same winner, time, and replayed winner_alpha).
     [[nodiscard]] parallel_result run_parallel(std::size_t k, const exponent_strategy& strategy,
                                                point target, std::uint64_t budget,
-                                               rng trial_stream, std::uint64_t cap = kNoCap);
+                                               const rng& trial_stream, std::uint64_t cap = kNoCap);
 
     [[nodiscard]] const engine_options& options() const noexcept { return opts_; }
 

@@ -1,0 +1,20 @@
+// Same branch-dependent draws, each justified (e.g. a scalar-only tool
+// whose draws never need to replay against the batch engine).
+struct rng {
+    double uniform();
+    int coin();
+    rng substream(unsigned long long i) const;
+};
+
+double biased_step(rng& g, bool flip) {
+    double x = 1.5;
+    if (flip) {
+        x = g.uniform();  // levylint:allow(conditional-main-draw) scalar-only diagnostic
+    }
+    // levylint:allow(conditional-main-draw) rejection loop is the whole algorithm here
+    while (g.coin() != 0) {
+        x = x * 0.5;
+    }
+    // levylint:allow(conditional-main-draw) scalar-only diagnostic
+    return flip ? g.uniform() : x;
+}

@@ -1,0 +1,19 @@
+// Seeded violations: draws from the walker's main stream inside
+// data-dependent control flow — the draw count then depends on the branch
+// taken, desynchronizing scalar/batch replay.
+struct rng {
+    double uniform();
+    int coin();
+    rng substream(unsigned long long i) const;
+};
+
+double biased_step(rng& g, bool flip) {
+    double x = 1.5;
+    if (flip) {
+        x = g.uniform();  // branch-dependent draw
+    }
+    while (g.coin() != 0) {  // condition re-draws on iterations 2+
+        x = x * 0.5;
+    }
+    return flip ? g.uniform() : x;  // ternary-arm draw
+}

@@ -1,0 +1,12 @@
+// Lexer regression: the digit separator in 0xdead'beef must not open a
+// character literal. A lexer that requires a *decimal* digit after the
+// quote swallows everything up to the next quote — and with it the seeded
+// violation below, which this fixture requires to stay visible.
+#include <random>
+
+unsigned mask() { return 0xdead'beef; }
+
+unsigned seed_entropy() {
+    std::random_device rd;  // seeded nondeterministic-seed violation
+    return rd();
+}

@@ -1,0 +1,15 @@
+// Lexer regression: `ERR "boom"` must lex ERR as an identifier followed by
+// a string, not as a raw-string prefix. A lexer that treats any short
+// R-containing identifier as a raw prefix hunts for a )ERR" closer that
+// never comes and swallows the rest of the file — including the seeded
+// violation below, which this fixture requires to stay visible.
+#include <random>
+
+#define LOG(x) (void)sizeof(x)
+
+void log_failure() { LOG(ERR "boom"); }
+
+unsigned seed_entropy() {
+    std::random_device rd;  // seeded nondeterministic-seed violation
+    return rd();
+}

@@ -1,0 +1,6 @@
+// Lexer regression: raw-string contents are data, not code. The seeding
+// and threading tokens inside the literal must produce no findings.
+const char* kForbiddenPatterns =
+    R"(std::random_device rd; srand(7); time(NULL); std::thread t;)";
+
+const char* kDelimited = R"doc(rand() inside a delimited raw string)doc";

@@ -1,0 +1,19 @@
+// Same accumulations, justified: a progress estimate displayed to humans,
+// never compared or persisted — low-bit drift is acceptable there.
+#include <atomic>
+#include <cstddef>
+
+template <class F>
+void parallel_for(std::size_t n, unsigned threads, F&& fn);
+
+double progress_estimate(unsigned threads) {
+    double sum = 0.0;
+    std::atomic<double> total{0.0};
+    parallel_for(1000, threads, [&](std::size_t i) {
+        // levylint:allow(nonassociative-parallel-reduction) display-only progress estimate
+        sum += static_cast<double>(i) * 0.5;
+        // levylint:allow(nonassociative-parallel-reduction) display-only progress estimate
+        total.fetch_add(static_cast<double>(i));
+    });
+    return (sum + total.load()) / 1000.0;
+}

@@ -1,0 +1,18 @@
+// Seeded violations: floating-point accumulation from parallel tasks —
+// the sum's value follows task completion order, so results change with
+// thread count even when the race itself is made atomic.
+#include <atomic>
+#include <cstddef>
+
+template <class F>
+void parallel_for(std::size_t n, unsigned threads, F&& fn);
+
+double schedule_ordered_mean(unsigned threads) {
+    double sum = 0.0;
+    std::atomic<double> total{0.0};
+    parallel_for(1000, threads, [&](std::size_t i) {
+        sum += static_cast<double>(i) * 0.5;     // ordered by the schedule
+        total.fetch_add(static_cast<double>(i));  // atomic, still unordered
+    });
+    return (sum + total.load()) / 1000.0;
+}

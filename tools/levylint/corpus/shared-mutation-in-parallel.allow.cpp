@@ -1,0 +1,19 @@
+// Same writes, justified: the caller pins parallelism to one worker, so
+// the "tasks" are sequential in this specific harness.
+#include <cstddef>
+#include <vector>
+
+template <class F>
+void parallel_for(std::size_t n, unsigned threads, F&& fn);
+
+int sequential_census() {
+    int count = 0;
+    std::vector<int> log;
+    parallel_for(100, /*threads=*/1, [&](std::size_t i) {
+        // levylint:allow(shared-mutation-in-parallel) threads pinned to 1 above
+        count += static_cast<int>(i);
+        // levylint:allow(shared-mutation-in-parallel) threads pinned to 1 above
+        log.push_back(static_cast<int>(i));
+    });
+    return count;
+}

@@ -1,0 +1,17 @@
+// Seeded violations: plain writes to by-reference captures from inside a
+// pool task — tasks run concurrently, so these are data races.
+#include <cstddef>
+#include <vector>
+
+template <class F>
+void parallel_for(std::size_t n, unsigned threads, F&& fn);
+
+int racy_census(unsigned threads) {
+    int count = 0;
+    std::vector<int> log;
+    parallel_for(100, threads, [&](std::size_t i) {
+        count += static_cast<int>(i);        // racy read-modify-write
+        log.push_back(static_cast<int>(i));  // racy container growth
+    });
+    return count;
+}

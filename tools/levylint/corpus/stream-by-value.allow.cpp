@@ -1,0 +1,23 @@
+// Same forks, each justified as a deliberate replay (e.g. a coupling
+// argument that reruns one walker against two path rules).
+struct rng {
+    double uniform();
+    rng substream(unsigned long long i) const;
+};
+
+double consume(rng s);  // by-value sink
+
+struct owner {
+    rng stream_;
+    // levylint:allow(stream-by-value) snapshot for coupled replay
+    rng expose() { return stream_; }
+};
+
+double copy_forks(rng& main_stream) {
+    // levylint:allow(stream-by-value) coupled replay: both sides must see the same draws
+    rng fork = main_stream;
+    // levylint:allow(stream-by-value) replay harness consumes a snapshot on purpose
+    double a = consume(main_stream);
+    a += fork.uniform();
+    return a + main_stream.uniform();
+}

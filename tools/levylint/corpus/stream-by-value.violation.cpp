@@ -1,0 +1,20 @@
+// Seeded violations: stream copies fork the draw sequence — both copies
+// then replay identical randomness.
+struct rng {
+    double uniform();
+    rng substream(unsigned long long i) const;
+};
+
+double consume(rng s);  // by-value sink
+
+struct owner {
+    rng stream_;
+    rng expose() { return stream_; }  // returning the member forks it
+};
+
+double copy_forks(rng& main_stream) {
+    rng fork = main_stream;           // copy-init fork
+    double a = consume(main_stream);  // by-value pass...
+    a += fork.uniform();
+    return a + main_stream.uniform();  // ...and the stream is used again here
+}

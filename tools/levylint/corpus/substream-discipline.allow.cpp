@@ -1,0 +1,20 @@
+// Same violations, justified: a scalar baseline walker that deliberately
+// walks on its main stream and never replays against the batch engine.
+struct rng {
+    double uniform();
+    rng substream(unsigned long long i) const;
+};
+
+struct stepper {
+    int advance(rng& g);  // draws the data-dependent tie coins through g
+};
+
+int walk_phase(rng& g, stepper& path) {
+    // levylint:allow(substream-discipline) scalar baseline: main-stream walk by design
+    int hits = path.advance(g);
+    rng sub = g.substream(7);
+    double tie = sub.uniform();
+    // levylint:allow(substream-discipline) diagnostic draw; sequence never replayed
+    double len = g.uniform();
+    return hits + static_cast<int>(tie + len);
+}

@@ -1,0 +1,19 @@
+// Seeded violations: (a) path stepping fed the main stream instead of a
+// per-phase substream, (b) drawing from a parent stream after a substream
+// derived from it was already used.
+struct rng {
+    double uniform();
+    rng substream(unsigned long long i) const;
+};
+
+struct stepper {
+    int advance(rng& g);  // draws the data-dependent tie coins through g
+};
+
+int walk_phase(rng& g, stepper& path) {
+    int hits = path.advance(g);  // main stream walks the path
+    rng sub = g.substream(7);
+    double tie = sub.uniform();
+    double len = g.uniform();  // parent drawn after its child
+    return hits + static_cast<int>(tie + len);
+}

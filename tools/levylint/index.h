@@ -1,0 +1,104 @@
+#pragma once
+
+#include <cstddef>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "tools/levylint/lexer.h"
+
+// Pass 1 of the two-pass analyzer: a lightweight semantic index over the
+// token stream of one translation unit. It recovers just enough structure
+// for flow-aware rules — function declarations/definitions with parameter
+// shapes, call sites with argument ranges, lambdas with capture lists —
+// without becoming a C++ front end. Heuristics are deliberately bounded:
+// a construct the indexer cannot classify is simply absent from the index,
+// which at worst makes a rule miss (the right failure mode for a linter).
+//
+// The per-TU indexes are linked into a cross-TU call graph by callgraph.h.
+
+namespace levylint {
+
+/// One function parameter, as declared.
+struct param_info {
+    std::vector<std::string> type;  ///< type tokens, e.g. {"const", "rng", "&"}
+    std::string name;               ///< declarator name; empty for unnamed params
+    bool by_value = false;          ///< no '&', '&&' or '*' anywhere in the declarator
+    bool by_const_ref = false;      ///< 'const' present together with '&'
+    bool is_rng = false;            ///< type mentions the repo's `rng` stream class
+};
+
+/// A function declaration or definition.
+struct func_info {
+    std::string name;   ///< unqualified name
+    std::string qname;  ///< scope-qualified, e.g. "levy::sim::walk_engine::spawn"
+    std::vector<std::string> ret;  ///< return-type tokens (empty for ctors/dtors)
+    std::vector<param_info> params;
+    int line = 1;
+    /// Token range of the body `{...}` (begin = index of '{', end = one past
+    /// the matching '}'); begin == end == 0 for a pure declaration.
+    std::size_t body_begin = 0;
+    std::size_t body_end = 0;
+    bool is_definition = false;
+    bool returns_unordered = false;  ///< return type is an unordered container
+    bool returns_rng = false;        ///< return type is the rng stream class
+};
+
+/// A lambda expression, attributed to its enclosing function.
+struct lambda_info {
+    std::size_t intro = 0;  ///< token index of the '['
+    std::size_t body_begin = 0;
+    std::size_t body_end = 0;
+    int line = 1;
+    bool capture_ref_default = false;  ///< [&...]
+    bool capture_val_default = false;  ///< [=...]
+    std::vector<std::string> ref_captures;  ///< explicit &name captures
+    std::vector<std::string> val_captures;  ///< explicit by-value captures
+    std::vector<std::string> params;        ///< parameter names (may be empty)
+    /// Non-empty when the lambda was bound to a local: `auto NAME = [...]`.
+    std::string bound_name;
+    int enclosing_func = -1;  ///< index into tu_index::funcs, -1 at file scope
+};
+
+/// A call expression: free call, qualified call, or member call.
+struct call_info {
+    std::string callee;              ///< last identifier before the '('
+    std::vector<std::string> quals;  ///< leading a::b qualifiers, outermost first
+    bool is_member = false;          ///< preceded by '.' or '->'
+    std::size_t name_tok = 0;        ///< token index of the callee identifier
+    std::size_t lparen = 0;          ///< token index of the '('
+    std::size_t rparen = 0;          ///< token index of the matching ')'
+    /// Top-level comma-separated argument token ranges [first, last).
+    std::vector<std::pair<std::size_t, std::size_t>> args;
+    /// Per argument: the identifier when the argument is a single bare name
+    /// (optionally with one [subscript] — `main_[w]` yields "main_"), else "".
+    std::vector<std::string> arg_names;
+    int enclosing_func = -1;    ///< index into tu_index::funcs
+    int enclosing_lambda = -1;  ///< index into tu_index::lambdas when inside one
+    int line = 1;
+};
+
+/// The semantic index of one translation unit.
+struct tu_index {
+    std::string path;  ///< repo-root-relative path with '/' separators
+    std::vector<func_info> funcs;
+    std::vector<lambda_info> lambdas;
+    std::vector<call_info> calls;
+    /// Names of class members whose declared type mentions `rng` (including
+    /// containers of streams, e.g. std::vector<rng>).
+    std::set<std::string> rng_members;
+    /// rng-typed names assigned from a `.substream(...)` expression inside
+    /// some function body here (constructor init lists deliberately do not
+    /// count: a per-phase substream must be rederived in the body, keyed by
+    /// the phase number — a ctor-init placeholder is not a derivation).
+    std::set<std::string> substream_derived;
+};
+
+/// Build the index for one lexed file. Never fails.
+[[nodiscard]] tu_index build_index(const std::string& rel_path, const lexed_file& lf);
+
+/// Index just past the punct that matches the opener at `open` ('(' -> ')',
+/// '{' -> '}', '[' -> ']'); returns `open` when unmatched.
+[[nodiscard]] std::size_t match_group(const std::vector<token>& ts, std::size_t open);
+
+}  // namespace levylint

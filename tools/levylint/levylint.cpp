@@ -1,13 +1,22 @@
 // levylint — the repo's determinism linter.
 //
-// A from-scratch, stdlib-only lint pass enforcing the invariants that keep
-// Monte-Carlo results a pure function of (seed, trial index). See rules.cpp
-// for the rule set and `levylint --explain <rule>` for the rationale behind
+// A from-scratch lint pass (no third-party dependencies; reuses the repo's
+// own obs/json and sim/thread_pool) enforcing the invariants that keep
+// Monte-Carlo results a pure function of (seed, trial index). Analysis is
+// two-pass: pass 1 lexes and semantically indexes every TU (index.h), the
+// linker joins the indexes into a project-wide call graph (callgraph.h),
+// and pass 2 runs the rules per file against that model. See rules.cpp for
+// the rule set and `levylint --explain <rule>` for the rationale behind
 // each one.
 //
 // Usage:
 //   levylint [--root DIR] [paths...]     lint files/dirs (default roots:
 //                                        src include bench tools examples)
+//   levylint --format=sarif              emit SARIF 2.1.0 instead of text
+//   levylint --output FILE               write the report to FILE
+//   levylint --baseline FILE             ignore findings listed in FILE
+//   levylint --write-baseline FILE       write current findings as baseline
+//   levylint --jobs N                    lex/analyze with N pool workers
 //   levylint --list-rules                one-line summary per rule
 //   levylint --explain RULE              full rationale + how to fix
 //   levylint --self-test DIR             run the seeded-violation corpus
@@ -16,6 +25,7 @@
 // Exit status: 0 clean, 1 findings (or failed self-test), 2 usage/IO error.
 
 #include <algorithm>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -24,8 +34,12 @@
 #include <string>
 #include <vector>
 
+#include "src/sim/thread_pool.h"
+#include "tools/levylint/callgraph.h"
+#include "tools/levylint/index.h"
 #include "tools/levylint/lexer.h"
 #include "tools/levylint/rules.h"
+#include "tools/levylint/sarif.h"
 
 namespace fs = std::filesystem;
 using namespace levylint;
@@ -68,7 +82,10 @@ std::vector<fs::path> discover(const fs::path& root, const std::vector<std::stri
     } else {
         for (const std::string& a : args) add_tree(root / a);
     }
+    // Deterministic work order regardless of directory-entry order or
+    // --jobs: path-sorted, duplicates (overlapping path args) removed.
     std::sort(files.begin(), files.end());
+    files.erase(std::unique(files.begin(), files.end()), files.end());
     return files;
 }
 
@@ -87,62 +104,197 @@ std::string rel_to(const fs::path& root, const fs::path& p) {
     return (ec ? p : rel).generic_string();
 }
 
-void print_findings(const std::vector<finding>& fs_) {
+void print_findings(std::ostream& out, const std::vector<finding>& fs_) {
     for (const finding& f : fs_) {
-        std::cout << f.path << ":" << f.line << ": [" << f.rule << "] " << f.message << "\n";
+        out << f.path << ":" << f.line << ": [" << f.rule << "] " << f.message << "\n";
     }
 }
 
+// --- baseline --------------------------------------------------------------
+
+/// A baseline is a line-oriented file of `path:rule` entries (one per
+/// pre-existing finding; duplicates mean multiple findings of that rule in
+/// that file). Lines are matched as a multiset, so a baselined file can
+/// keep its N old findings but a new one still fails the scan. '#' lines
+/// and blanks are ignored. Line numbers are deliberately absent: baselines
+/// must survive unrelated edits above a finding.
+std::map<std::string, int> read_baseline(const fs::path& p, bool& ok) {
+    std::map<std::string, int> entries;
+    std::ifstream in(p);
+    ok = static_cast<bool>(in);
+    if (!ok) return entries;
+    std::string line;
+    while (std::getline(in, line)) {
+        const std::size_t start = line.find_first_not_of(" \t");
+        if (start == std::string::npos || line[start] == '#') continue;
+        const std::size_t stop = line.find_last_not_of(" \t\r");
+        entries[line.substr(start, stop - start + 1)]++;
+    }
+    return entries;
+}
+
+/// Consume baseline entries; returns the findings that are NOT baselined.
+std::vector<finding> apply_baseline(std::vector<finding> all,
+                                    std::map<std::string, int> entries) {
+    std::vector<finding> kept;
+    kept.reserve(all.size());
+    for (finding& f : all) {
+        const auto it = entries.find(f.path + ":" + f.rule);
+        if (it != entries.end() && it->second > 0) {
+            --it->second;
+            continue;
+        }
+        kept.push_back(std::move(f));
+    }
+    return kept;
+}
+
+// --- tree scan -------------------------------------------------------------
+
+struct scan_options {
+    bool ignore_suppressions = false;
+    std::string format = "text";  // "text" | "sarif"
+    std::string output;           // empty = stdout
+    std::string baseline;         // empty = none
+    std::string write_baseline;   // empty = none
+    unsigned jobs = 1;
+};
+
 int lint_tree(const fs::path& root, const std::vector<std::string>& paths,
-              bool ignore_suppressions) {
+              const scan_options& opt) {
     const std::vector<fs::path> files = discover(root, paths);
     if (files.empty()) {
         std::cerr << "levylint: no lintable files under the given paths\n";
         return 2;
     }
-    // Pass 1: lex everything, collect cross-file symbols (functions that
-    // return unordered containers).
-    std::vector<std::pair<std::string, lexed_file>> lexed;
-    lexed.reserve(files.size());
-    project_symbols proj;
-    for (const fs::path& f : files) {
+    // Pass 1: lex + index every TU. Slot-per-file parallelism: worker i
+    // writes only lexed[i]/indexed[i], so the result is independent of
+    // scheduling and identical to --jobs=1.
+    std::vector<lexed_file> lexed(files.size());
+    std::vector<tu_index> indexed(files.size());
+    std::vector<char> failed(files.size(), 0);
+    const auto pass1 = [&](std::size_t i) {
         std::string src;
-        if (!read_file(f, src)) {
-            std::cerr << "levylint: cannot read " << f << "\n";
+        if (!read_file(files[i], src)) {
+            failed[i] = 1;
+            return;
+        }
+        lexed[i] = lex(src);
+        indexed[i] = build_index(rel_to(root, files[i]), lexed[i]);
+    };
+    levy::sim::thread_pool::instance().run(files.size(), opt.jobs, /*chunk=*/1, pass1);
+    for (std::size_t i = 0; i < files.size(); ++i) {
+        if (failed[i] != 0) {
+            std::cerr << "levylint: cannot read " << files[i] << "\n";
             return 2;
         }
-        lexed.emplace_back(rel_to(root, f), lex(src));
-        collect_symbols(lexed.back().second, proj);
     }
-    // Pass 2: rules.
+
+    // Link into the project model (sequential: one pass over all indexes).
+    const project_model model = link(std::move(indexed));
+
+    // Pass 2: rules per file, same slot discipline.
+    std::vector<std::vector<finding>> per_file(files.size());
+    const auto pass2 = [&](std::size_t i) {
+        per_file[i] = analyze(model, static_cast<int>(i), lexed[i], opt.ignore_suppressions);
+    };
+    levy::sim::thread_pool::instance().run(files.size(), opt.jobs, /*chunk=*/1, pass2);
+
     std::vector<finding> all;
-    for (const auto& [path, lf] : lexed) {
-        std::vector<finding> fs_ = analyze(path, lf, proj, ignore_suppressions);
+    for (std::vector<finding>& fs_ : per_file) {
         all.insert(all.end(), std::make_move_iterator(fs_.begin()),
                    std::make_move_iterator(fs_.end()));
     }
-    print_findings(all);
-    if (!all.empty()) {
-        std::map<std::string, int> per_rule;
-        for (const finding& f : all) ++per_rule[f.rule];
-        std::cout << "\nlevylint: " << all.size() << " finding(s) in " << files.size()
-                  << " file(s):";
-        for (const auto& [rule, n] : per_rule) std::cout << " " << rule << "=" << n;
-        std::cout << "\nrun `levylint --explain <rule>` for the rationale and how to fix.\n";
-        return 1;
+
+    if (!opt.write_baseline.empty()) {
+        std::ofstream out(opt.write_baseline);
+        out << "# levylint baseline: one `path:rule` line per accepted pre-existing\n"
+               "# finding (duplicates = multiple findings). Regenerate with\n"
+               "#   levylint --write-baseline <file>\n";
+        for (const finding& f : all) out << f.path << ":" << f.rule << "\n";
+        if (!out) {
+            std::cerr << "levylint: cannot write baseline " << opt.write_baseline << "\n";
+            return 2;
+        }
+        std::cout << "levylint: wrote " << all.size() << " baseline entr"
+                  << (all.size() == 1 ? "y" : "ies") << " to " << opt.write_baseline << "\n";
+        return 0;
     }
-    std::cout << "levylint: clean (" << files.size() << " files, " << rules().size()
-              << " rules)\n";
-    return 0;
+
+    if (!opt.baseline.empty()) {
+        bool ok = false;
+        auto entries = read_baseline(opt.baseline, ok);
+        if (!ok) {
+            std::cerr << "levylint: cannot read baseline " << opt.baseline << "\n";
+            return 2;
+        }
+        all = apply_baseline(std::move(all), std::move(entries));
+    }
+
+    // Report.
+    std::ofstream file_out;
+    if (!opt.output.empty()) {
+        file_out.open(opt.output, std::ios::binary);
+        if (!file_out) {
+            std::cerr << "levylint: cannot open output file " << opt.output << "\n";
+            return 2;
+        }
+    }
+    std::ostream& out = opt.output.empty() ? std::cout : file_out;
+
+    if (opt.format == "sarif") {
+        out << to_sarif(all);
+    } else {
+        print_findings(out, all);
+        if (!all.empty()) {
+            std::map<std::string, int> per_rule;
+            for (const finding& f : all) ++per_rule[f.rule];
+            out << "\nlevylint: " << all.size() << " finding(s) in " << files.size()
+                << " file(s):";
+            for (const auto& [rule, n] : per_rule) out << " " << rule << "=" << n;
+            out << "\nrun `levylint --explain <rule>` for the rationale and how to fix.\n";
+        } else {
+            out << "levylint: clean (" << files.size() << " files, " << rules().size()
+                << " rules)\n";
+        }
+    }
+    out.flush();
+    if (!out) {
+        std::cerr << "levylint: write failed" << (opt.output.empty() ? "" : ": " + opt.output)
+                  << "\n";
+        return 2;
+    }
+    return all.empty() ? 0 : 1;
 }
 
 // --- self-test -------------------------------------------------------------
+
+/// Analyze one self-contained fixture file: index it, link it as a
+/// single-TU project, run the rules.
+struct fixture_result {
+    std::vector<finding> fired;
+    std::vector<finding> unsuppressed;
+};
+
+fixture_result analyze_fixture(const std::string& rel, const std::string& src) {
+    const lexed_file lf = lex(src);
+    std::vector<tu_index> tus;
+    tus.push_back(build_index(rel, lf));
+    const project_model model = link(std::move(tus));
+    return {analyze(model, 0, lf), analyze(model, 0, lf, /*ignore_suppressions=*/true)};
+}
 
 /// The corpus directory holds, per rule, `<rule>.violation.{cpp,h}` (must
 /// produce >= 1 finding of exactly that rule) and `<rule>.allow.{cpp,h}`
 /// (same seeded violations, each carrying a levylint:allow — must produce 0
 /// findings, but >= 1 when suppressions are ignored, proving the fixture
 /// genuinely violates and the suppression genuinely covers it).
+///
+/// A `lexer/` subdirectory holds regression fixtures for the lexer itself:
+/// `*.violation.*` must fire >= 1 finding of any rule (proving the lexer
+/// still *sees* the seeded violation — these guard against token-stream
+/// swallowing bugs like the `0xa'b` digit-separator mislex), `*.clean.*`
+/// must produce none (guarding against false hits inside raw strings).
 int self_test(const fs::path& corpus) {
     if (!fs::is_directory(corpus)) {
         std::cerr << "levylint: corpus directory not found: " << corpus << "\n";
@@ -173,49 +325,83 @@ int self_test(const fs::path& corpus) {
             fail(r.id + ": missing allow fixture");
             continue;
         }
-        project_symbols proj;  // corpus files are self-contained
         for (const fs::path& p : {violation, allowed}) {
             std::string src;
             if (!read_file(p, src)) {
                 fail(r.id + ": cannot read " + p.string());
                 continue;
             }
-            const lexed_file lf = lex(src);
-            project_symbols local = proj;
-            collect_symbols(lf, local);
-            const std::string rel = "corpus/" + p.filename().string();
-            const auto fired = analyze(rel, lf, local);
-            const auto unsuppressed = analyze(rel, lf, local, /*ignore_suppressions=*/true);
+            const fixture_result res =
+                analyze_fixture("corpus/" + p.filename().string(), src);
             const auto count_rule = [&](const std::vector<finding>& fs_) {
                 return std::count_if(fs_.begin(), fs_.end(),
                                      [&](const finding& f) { return f.rule == r.id; });
             };
             const bool is_allow_fixture = p == allowed;
             if (!is_allow_fixture) {
-                if (count_rule(fired) == 0) {
+                if (count_rule(res.fired) == 0) {
                     fail(r.id + ": violation fixture produced no " + r.id + " finding");
-                } else if (static_cast<std::size_t>(count_rule(fired)) != fired.size()) {
+                } else if (static_cast<std::size_t>(count_rule(res.fired)) != res.fired.size()) {
                     fail(r.id + ": violation fixture trips other rules too — keep fixtures "
                                 "single-rule");
-                    print_findings(fired);
+                    print_findings(std::cout, res.fired);
                 } else {
-                    std::cout << "ok    " << r.id << ": violation fires (" << count_rule(fired)
-                              << " finding(s))\n";
+                    std::cout << "ok    " << r.id << ": violation fires ("
+                              << count_rule(res.fired) << " finding(s))\n";
                 }
             } else {
-                if (!fired.empty()) {
+                if (!res.fired.empty()) {
                     fail(r.id + ": allow fixture still produced findings");
-                    print_findings(fired);
-                } else if (count_rule(unsuppressed) == 0) {
+                    print_findings(std::cout, res.fired);
+                } else if (count_rule(res.unsuppressed) == 0) {
                     fail(r.id + ": allow fixture does not actually violate " + r.id +
                          " (suppression proves nothing)");
                 } else {
                     std::cout << "ok    " << r.id << ": suppression covers "
-                              << count_rule(unsuppressed) << " seeded finding(s)\n";
+                              << count_rule(res.unsuppressed) << " seeded finding(s)\n";
                 }
             }
         }
     }
+
+    // Lexer regression fixtures.
+    const fs::path lexer_dir = corpus / "lexer";
+    if (fs::is_directory(lexer_dir)) {
+        std::vector<fs::path> lexer_fixtures;
+        for (const auto& e : fs::directory_iterator(lexer_dir)) {
+            if (e.is_regular_file() && lintable(e.path())) lexer_fixtures.push_back(e.path());
+        }
+        std::sort(lexer_fixtures.begin(), lexer_fixtures.end());
+        for (const fs::path& p : lexer_fixtures) {
+            const std::string name = p.filename().string();
+            std::string src;
+            if (!read_file(p, src)) {
+                fail("lexer/" + name + ": cannot read");
+                continue;
+            }
+            const fixture_result res = analyze_fixture("corpus/lexer/" + name, src);
+            const bool expect_clean = name.find(".clean.") != std::string::npos;
+            if (expect_clean) {
+                if (res.fired.empty()) {
+                    std::cout << "ok    lexer/" << name << ": clean as expected\n";
+                } else {
+                    fail("lexer/" + name + ": expected clean, got findings");
+                    print_findings(std::cout, res.fired);
+                }
+            } else {
+                if (!res.fired.empty()) {
+                    std::cout << "ok    lexer/" << name << ": seeded violation visible ("
+                              << res.fired.size() << " finding(s))\n";
+                } else {
+                    fail("lexer/" + name +
+                         ": seeded violation invisible — the lexer swallowed it");
+                }
+            }
+        }
+    } else {
+        fail("lexer regression fixtures missing (corpus lexer/ subdirectory)");
+    }
+
     if (failures != 0) {
         std::cout << "levylint --self-test: " << failures << " failure(s)\n";
         return 1;
@@ -246,7 +432,7 @@ int explain(const std::string& id) {
 int main(int argc, char** argv) {
     fs::path root = fs::current_path();
     std::vector<std::string> paths;
-    bool ignore_suppressions = false;
+    scan_options opt;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         auto next = [&]() -> const char* {
@@ -266,10 +452,37 @@ int main(int argc, char** argv) {
         } else if (arg == "--self-test") {
             return self_test(next());
         } else if (arg == "--ignore-suppressions") {
-            ignore_suppressions = true;
+            opt.ignore_suppressions = true;
+        } else if (arg.rfind("--format=", 0) == 0) {
+            opt.format = arg.substr(9);
+            if (opt.format != "text" && opt.format != "sarif") {
+                std::cerr << "levylint: unknown format '" << opt.format
+                          << "' (text or sarif)\n";
+                return 2;
+            }
+        } else if (arg == "--format") {
+            opt.format = next();
+            if (opt.format != "text" && opt.format != "sarif") {
+                std::cerr << "levylint: unknown format '" << opt.format
+                          << "' (text or sarif)\n";
+                return 2;
+            }
+        } else if (arg == "--output") {
+            opt.output = next();
+        } else if (arg == "--baseline") {
+            opt.baseline = next();
+        } else if (arg == "--write-baseline") {
+            opt.write_baseline = next();
+        } else if (arg == "--jobs") {
+            opt.jobs = static_cast<unsigned>(std::max(1, std::atoi(next())));
+        } else if (arg.rfind("--jobs=", 0) == 0) {
+            opt.jobs = static_cast<unsigned>(std::max(1, std::atoi(arg.c_str() + 7)));
         } else if (arg == "--help" || arg == "-h") {
-            std::cout << "usage: levylint [--root DIR] [--ignore-suppressions] [paths...]\n"
-                         "       levylint --list-rules | --explain RULE | --self-test DIR\n";
+            std::cout
+                << "usage: levylint [--root DIR] [--ignore-suppressions] [--format text|sarif]\n"
+                   "                [--output FILE] [--baseline FILE | --write-baseline FILE]\n"
+                   "                [--jobs N] [paths...]\n"
+                   "       levylint --list-rules | --explain RULE | --self-test DIR\n";
             return 0;
         } else if (!arg.empty() && arg[0] == '-') {
             std::cerr << "levylint: unknown option " << arg << "\n";
@@ -278,5 +491,5 @@ int main(int argc, char** argv) {
             paths.push_back(arg);
         }
     }
-    return lint_tree(root, paths, ignore_suppressions);
+    return lint_tree(root, paths, opt);
 }

@@ -138,9 +138,13 @@ private:
         t.line = line_;
         while (pos_ < src_.size() && ident_char(src_[pos_])) t.text += src_[pos_++];
         // String-literal prefixes: an identifier immediately followed by a
-        // quote is a prefix (R, u8, LR, ...), not a real identifier.
+        // quote is a prefix (R, u8, LR, ...), not a real identifier. Only
+        // the exact raw prefixes count — `LOG(ERR "x")` must lex ERR as an
+        // identifier, not eat the rest of the file hunting for a )ERR"
+        // raw-string closer.
         if (pos_ < src_.size() && src_[pos_] == '"') {
-            if (t.text.size() <= 3 && t.text.find('R') != std::string::npos) {
+            if (t.text == "R" || t.text == "LR" || t.text == "uR" || t.text == "UR" ||
+                t.text == "u8R") {
                 raw_string();
                 return;
             }
@@ -159,7 +163,11 @@ private:
         const bool hex = src_[pos_] == '0' && (peek(1) == 'x' || peek(1) == 'X');
         while (pos_ < src_.size()) {
             const char c = src_[pos_];
-            if (c == '\'' && digit(peek(1))) {  // digit separator 1'000'000
+            // Digit separator: 1'000'000, but also hex digits (0xdead'beef)
+            // and anything ident-shaped after the quote — requiring a
+            // *decimal* digit mislexed 0xa'b as number 0xa followed by a
+            // char literal, swallowing tokens to the next single quote.
+            if (c == '\'' && ident_char(peek(1))) {
                 ++pos_;
                 continue;
             }

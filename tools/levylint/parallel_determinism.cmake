@@ -1,0 +1,38 @@
+# Pins the parallel-scan determinism contract: a levylint tree scan with
+# --jobs=8 must produce byte-identical output to --jobs=1 (path-sorted file
+# order, slot-per-file result placement — scheduling must never leak into
+# the report). Exit codes must match too; both runs use the checked-in
+# baseline, so this holds whether the tree is clean or not.
+
+foreach(var LEVYLINT REPO_ROOT OUT_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "parallel_determinism.cmake needs -D${var}=...")
+  endif()
+endforeach()
+
+file(MAKE_DIRECTORY "${OUT_DIR}")
+
+set(common_args --root "${REPO_ROOT}"
+  --baseline "${REPO_ROOT}/tools/levylint/baseline.txt"
+  src include bench tools examples)
+
+execute_process(
+  COMMAND "${LEVYLINT}" ${common_args} --jobs 1 --output "${OUT_DIR}/serial.txt"
+  RESULT_VARIABLE serial_rc)
+execute_process(
+  COMMAND "${LEVYLINT}" ${common_args} --jobs 8 --output "${OUT_DIR}/parallel.txt"
+  RESULT_VARIABLE parallel_rc)
+
+if(NOT serial_rc EQUAL parallel_rc)
+  message(FATAL_ERROR
+    "levylint exit codes differ: --jobs=1 -> ${serial_rc}, --jobs=8 -> ${parallel_rc}")
+endif()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files "${OUT_DIR}/serial.txt" "${OUT_DIR}/parallel.txt"
+  RESULT_VARIABLE diff_rc)
+if(NOT diff_rc EQUAL 0)
+  message(FATAL_ERROR
+    "levylint output differs between --jobs=1 and --jobs=8 "
+    "(${OUT_DIR}/serial.txt vs ${OUT_DIR}/parallel.txt)")
+endif()

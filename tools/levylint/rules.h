@@ -1,9 +1,9 @@
 #pragma once
 
-#include <set>
 #include <string>
 #include <vector>
 
+#include "tools/levylint/callgraph.h"
 #include "tools/levylint/lexer.h"
 
 // levylint's rule registry and per-file analysis.
@@ -13,6 +13,13 @@
 // protect one guarantee: Monte-Carlo results are a pure function of
 // (seed, trial index), bit-identical for any thread count, chunk size,
 // standard-library implementation, or incidental memory layout.
+//
+// Analysis is two-pass: pass 1 lexes and indexes every TU (index.h), the
+// linker joins them into a project_model (callgraph.h), and pass 2 runs the
+// rules per file against that model — so the flow-aware rules (stream
+// discipline, parallel-capture safety) see cross-TU facts: which callee
+// takes its rng by value, which lambdas run on the pool, which names are
+// substream-derived anywhere in the project.
 //
 // Findings on a line are suppressed by `// levylint:allow(<rule>[, ...])`
 // on the same line, or on an immediately preceding comment-only line.
@@ -36,23 +43,14 @@ struct rule_info {
 [[nodiscard]] const std::vector<rule_info>& rules();
 [[nodiscard]] bool known_rule(const std::string& id);
 
-/// Cross-file knowledge gathered in a first pass over every scanned file.
-struct project_symbols {
-    /// Functions whose declared return type is an unordered container
-    /// (e.g. sim::visit_census): iterating their result is as
-    /// order-unstable as iterating the container itself.
-    std::set<std::string> unordered_returning_functions;
-};
-
-void collect_symbols(const lexed_file& lf, project_symbols& proj);
-
-/// All findings for one file, sorted by line. `rel_path` is repo-root
-/// relative with '/' separators — the path-scoped exemptions (src/rng/ may
-/// seed, src/sim/thread_pool.* may touch std::thread) key off it.
+/// All findings for one file, sorted by line. `tu` indexes the file inside
+/// `model` (its tu_index::path is the repo-root-relative path the
+/// path-scoped exemptions key off: src/rng/ may seed and owns the stream
+/// substrate, src/sim/thread_pool.* may touch std::thread).
 /// `ignore_suppressions` reports findings even on allow-annotated lines;
 /// the self-test uses it to prove the suppressed fixtures really violate.
-[[nodiscard]] std::vector<finding> analyze(const std::string& rel_path, const lexed_file& lf,
-                                           const project_symbols& proj,
+[[nodiscard]] std::vector<finding> analyze(const project_model& model, int tu,
+                                           const lexed_file& lf,
                                            bool ignore_suppressions = false);
 
 }  // namespace levylint

@@ -1,0 +1,87 @@
+#include "tools/levylint/sarif.h"
+
+#include <cstddef>
+#include <map>
+
+#include "src/obs/json.h"
+
+namespace levylint {
+
+std::string to_sarif(const std::vector<finding>& findings) {
+    using levy::obs::json;
+
+    // reportingDescriptor array + id -> index, in registry order (SARIF
+    // results reference rules by index).
+    json rule_descs = json::array();
+    std::map<std::string, std::size_t> rule_index;
+    for (const rule_info& r : rules()) {
+        json d = json::object();
+        d.set("id", r.id);
+        json short_desc = json::object();
+        short_desc.set("text", r.summary);
+        d.set("shortDescription", short_desc);
+        json full_desc = json::object();
+        full_desc.set("text", r.explanation);
+        d.set("fullDescription", full_desc);
+        json config = json::object();
+        config.set("level", "error");
+        d.set("defaultConfiguration", config);
+        rule_index.emplace(r.id, rule_index.size());
+        rule_descs.push_back(std::move(d));
+    }
+
+    json results = json::array();
+    // Stable fingerprints: path + rule + per-(path, rule) ordinal, so a
+    // finding keeps its identity across unrelated line-number churn.
+    std::map<std::string, int> ordinal;
+    for (const finding& f : findings) {
+        json r = json::object();
+        r.set("ruleId", f.rule);
+        const auto it = rule_index.find(f.rule);
+        if (it != rule_index.end()) r.set("ruleIndex", it->second);
+        r.set("level", "error");
+        json msg = json::object();
+        msg.set("text", f.message);
+        r.set("message", std::move(msg));
+
+        json artifact = json::object();
+        artifact.set("uri", f.path);
+        json region = json::object();
+        region.set("startLine", f.line);
+        json phys = json::object();
+        phys.set("artifactLocation", std::move(artifact));
+        phys.set("region", std::move(region));
+        json loc = json::object();
+        loc.set("physicalLocation", std::move(phys));
+        json locs = json::array();
+        locs.push_back(std::move(loc));
+        r.set("locations", std::move(locs));
+
+        const std::string key = f.path + ":" + f.rule;
+        json prints = json::object();
+        prints.set("levylint/v1", key + ":" + std::to_string(ordinal[key]++));
+        r.set("partialFingerprints", std::move(prints));
+        results.push_back(std::move(r));
+    }
+
+    json driver = json::object();
+    driver.set("name", "levylint");
+    driver.set("version", "2.0.0");
+    driver.set("rules", std::move(rule_descs));
+    json tool = json::object();
+    tool.set("driver", std::move(driver));
+    json run = json::object();
+    run.set("tool", std::move(tool));
+    run.set("columnKind", "utf16CodeUnits");
+    run.set("results", std::move(results));
+    json runs = json::array();
+    runs.push_back(std::move(run));
+
+    json doc = json::object();
+    doc.set("$schema", "https://json.schemastore.org/sarif-2.1.0.json");
+    doc.set("version", "2.1.0");
+    doc.set("runs", std::move(runs));
+    return doc.dump(2) + "\n";
+}
+
+}  // namespace levylint

@@ -1,0 +1,17 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "tools/levylint/rules.h"
+
+namespace levylint {
+
+/// Serialize findings as a SARIF 2.1.0 log (one run, driver "levylint"),
+/// via the deterministic levy::obs::json writer: same findings, same bytes.
+/// `findings` must already be in final reporting order. Paths are emitted
+/// as repo-root-relative artifact URIs, which is what
+/// github/codeql-action/upload-sarif expects from a checkout-rooted scan.
+[[nodiscard]] std::string to_sarif(const std::vector<finding>& findings);
+
+}  // namespace levylint
