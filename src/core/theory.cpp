@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "src/core/contracts.h"
+#include "src/core/strategy.h"
 
 namespace levy::theory {
 namespace {
@@ -70,6 +71,15 @@ double universal_lower_bound(double k, double ell) {
     require_ell(ell);
     LEVY_PRECONDITION(k >= 1.0, "theory: need k >= 1");
     return ell * ell / k + ell;
+}
+
+parallel_plan plan_parallel_search(double k, double ell) {
+    parallel_plan plan;
+    plan.alpha_star = optimal_alpha(k, ell);
+    plan.alpha_star_adjusted = optimal_alpha_adjusted(k, ell);
+    plan.budget = optimal_parallel_budget(k, ell);
+    plan.lower_bound = universal_lower_bound(k, ell);
+    return plan;
 }
 
 }  // namespace levy::theory

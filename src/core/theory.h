@@ -43,4 +43,19 @@ namespace levy::theory {
 /// strategy (observed in [14]; quoted after Thm 1.6).
 [[nodiscard]] double universal_lower_bound(double k, double ell);
 
+/// The Thm 1.5 / Cor 4.2 planning answer as one record — the levyserve
+/// `/plan` endpoint's payload. `alpha_star` is the optimal common exponent
+/// 3 − log k / log ℓ clamped to [2, 3] (core/strategy.h), and the budgets
+/// bracket what that fleet needs: the upper-bound budget of Thm 1.5(a) and
+/// the universal Ω(ℓ²/k + ℓ) floor no strategy beats.
+struct parallel_plan {
+    double alpha_star = 0.0;           ///< strategy::optimal_alpha(k, ℓ)
+    double alpha_star_adjusted = 0.0;  ///< + 5·log log ℓ / log ℓ correction
+    double budget = 0.0;               ///< optimal_parallel_budget(k, ℓ)
+    double lower_bound = 0.0;          ///< universal_lower_bound(k, ℓ)
+};
+
+/// Requires k ≥ 1 and ℓ ≥ 2 (same contract as the functions it bundles).
+[[nodiscard]] parallel_plan plan_parallel_search(double k, double ell);
+
 }  // namespace levy::theory

@@ -12,18 +12,14 @@
 #include "src/obs/json.h"
 #include "src/obs/metrics.h"
 #include "src/obs/progress.h"
+#include "src/serve/http.h"
 #include "src/sim/monte_carlo.h"
 
-#if defined(__unix__) || defined(__APPLE__)
-#define LEVY_HAVE_POSIX_SOCKETS 1
-#include <arpa/inet.h>
-#include <fcntl.h>
-#include <netinet/in.h>
+#define LEVY_HAVE_POSIX_SOCKETS LEVY_SERVE_HAVE_POSIX_SOCKETS
+#if LEVY_HAVE_POSIX_SOCKETS
 #include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
-#else
-#define LEVY_HAVE_POSIX_SOCKETS 0
 #endif
 
 namespace levy::obs {
@@ -102,82 +98,55 @@ exporter_state& state() {
     return *s;
 }
 
-struct http_response {
-    int status = 200;
-    std::string content_type = "text/plain; charset=utf-8";
-    std::string body;
-};
-
-http_response route(const std::string& path) {
+serve::http_response route(const std::string& path) {
+    serve::http_response resp;
     if (path == "/metrics") {
-        return {200, "text/plain; version=0.0.4; charset=utf-8", prometheus_text()};
+        resp.content_type = "text/plain; version=0.0.4; charset=utf-8";
+        resp.body = prometheus_text();
+        return resp;
     }
-    if (path == "/healthz") return {200, "text/plain; charset=utf-8", "ok\n"};
+    if (path == "/healthz") {
+        resp.body = "ok\n";
+        return resp;
+    }
     if (path == "/progress") {
-        return {200, "application/json; charset=utf-8",
-                progress_to_json(snapshot_progress()).dump(2) + "\n"};
+        resp.content_type = "application/json; charset=utf-8";
+        resp.body = progress_to_json(snapshot_progress()).dump(2) + "\n";
+        return resp;
     }
-    return {404, "text/plain; charset=utf-8", "not found\n"};
-}
-
-const char* status_text(int status) {
-    switch (status) {
-        case 200: return "OK";
-        case 400: return "Bad Request";
-        case 404: return "Not Found";
-        default: return "Error";
-    }
-}
-
-void send_all(int fd, const std::string& bytes) {
-    std::size_t sent = 0;
-    while (sent < bytes.size()) {
-        const ssize_t n =
-            ::send(fd, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
-        if (n <= 0) return;  // peer went away: scraping is best-effort
-        sent += static_cast<std::size_t>(n);
-    }
+    resp.status = 404;
+    resp.body = "not found\n";
+    return resp;
 }
 
 void handle_connection(int fd) {
-    // Bounded read of the request head; a stalled or oversized client gets
-    // dropped by the 2 s socket timeout instead of wedging the server.
-    timeval timeout{};
-    timeout.tv_sec = 2;
-    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
-    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &timeout, sizeof(timeout));
-    std::string request;
-    char buf[1024];
-    while (request.size() < 8192 && request.find("\r\n\r\n") == std::string::npos) {
-        const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
-        if (n <= 0) break;
-        request.append(buf, static_cast<std::size_t>(n));
-    }
-    http_response resp;
-    const std::size_t line_end = request.find("\r\n");
-    std::string method, path;
-    if (line_end != std::string::npos) {
-        const std::string line = request.substr(0, line_end);
-        const std::size_t sp1 = line.find(' ');
-        const std::size_t sp2 = sp1 == std::string::npos ? std::string::npos
-                                                         : line.find(' ', sp1 + 1);
-        if (sp2 != std::string::npos) {
-            method = line.substr(0, sp1);
-            path = line.substr(sp1 + 1, sp2 - sp1 - 1);
+    // Shared socket hygiene (serve/http): per-recv/send timeouts plus a
+    // *total* head deadline and byte bound — a silent or drip-feeding
+    // scraper is cut off by the deadline, never wedging the server the way
+    // a per-recv timer alone would allow.
+    serve::http_limits limits;
+    limits.io_timeout_seconds = 1.0;    // scrapers are local and fast;
+    limits.head_deadline_seconds = 2.0; // match the old 2 s worst case
+    serve::apply_socket_timeouts(fd, limits);
+    serve::http_request req;
+    const serve::head_status hs = serve::read_request_head(fd, limits, req);
+    serve::http_response resp;
+    if (hs != serve::head_status::ok) {
+        if (hs == serve::head_status::closed) {  // nobody left to answer
+            ::close(fd);
+            return;
         }
-    }
-    if (method != "GET" || path.empty()) {
-        resp = {400, "text/plain; charset=utf-8", "bad request\n"};
+        resp.status = hs == serve::head_status::timeout     ? 408
+                      : hs == serve::head_status::too_large ? 431
+                                                            : 400;
+        resp.body = std::string("bad request: ") + serve::head_status_name(hs) + "\n";
+    } else if (req.method != "GET") {
+        resp.status = 400;
+        resp.body = "bad request\n";
     } else {
-        resp = route(path);
+        resp = route(req.path);
     }
-    std::string out = "HTTP/1.1 " + std::to_string(resp.status) + " " +
-                      status_text(resp.status) + "\r\n";
-    out += "Content-Type: " + resp.content_type + "\r\n";
-    out += "Content-Length: " + std::to_string(resp.body.size()) + "\r\n";
-    out += "Connection: close\r\n\r\n";
-    out += resp.body;
-    send_all(fd, out);
+    (void)serve::send_all(fd, serve::render_response(resp));
     ::close(fd);
 }
 
@@ -252,31 +221,13 @@ unsigned short start_metrics_exporter(unsigned short port) {
     exporter_state& st = state();
     std::lock_guard lk(st.m);
     if (st.running) throw std::logic_error("metrics exporter already running");
-    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-    if (fd < 0) throw std::runtime_error("metrics exporter: socket() failed");
-    const int one = 1;
-    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-    sockaddr_in addr{};
-    addr.sin_family = AF_INET;
-    addr.sin_addr.s_addr = htonl(INADDR_ANY);
-    addr.sin_port = htons(port);
-    if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0 ||
-        ::listen(fd, 16) != 0) {
-        ::close(fd);
-        throw std::runtime_error("metrics exporter: cannot bind/listen on port " +
-                                 std::to_string(port));
-    }
-    socklen_t len = sizeof(addr);
-    if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
-        ::close(fd);
-        throw std::runtime_error("metrics exporter: getsockname failed");
-    }
+    const auto [fd, bound_port] = serve::listen_on(port);
     st.listen_fd = fd;
     st.stop.store(false, std::memory_order_release);
     // levylint:allow(raw-thread) observability server; never runs trial work
     st.server = std::thread(server_loop);
     st.running = true;
-    return ntohs(addr.sin_port);
+    return bound_port;
 }
 
 void stop_metrics_exporter() noexcept {

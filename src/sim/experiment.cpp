@@ -154,12 +154,23 @@ run_options parse_run_options(int argc, char** argv) {
         } else if (auto cp = eat("--cap"); !cp.empty()) {
             const auto cap = parse_number<std::uint64_t>(cp, "cap");
             opts.cap = cap == 0 ? kNoCap : cap;
+        } else if (auto dm = eat("--deadline-ms"); !dm.empty()) {
+            // Parsed signed so "-5" reaches the precondition (an unsigned
+            // parse would report it as a malformed number instead).
+            const auto v = parse_number<std::int64_t>(dm, "deadline-ms");
+            LEVY_PRECONDITION(v > 0, "--deadline-ms must be > 0");
+            opts.deadline_ms = static_cast<std::uint64_t>(v);
+        } else if (auto qc = eat("--queue-capacity"); !qc.empty()) {
+            const auto v = parse_number<std::int64_t>(qc, "queue-capacity");
+            LEVY_PRECONDITION(v > 0, "--queue-capacity must be > 0");
+            opts.queue_capacity = static_cast<std::size_t>(v);
         } else if (arg == "--help" || arg == "-h") {
             throw std::invalid_argument(
                 "usage: [--trials=N] [--scale=S] [--threads=T] [--chunk=C] [--seed=X] "
                 "[--csv=PATH] [--checkpoint=DIR] [--checkpoint-interval=K] "
                 "[--max-steps-per-trial=M] [--json=PATH|-] [--json-dir=DIR] [--trace=PATH] "
-                "[--progress[=SECS]] [--metrics-port=P] [--engine=scalar|batch] [--cap=C]");
+                "[--progress[=SECS]] [--metrics-port=P] [--engine=scalar|batch] [--cap=C] "
+                "[--deadline-ms=D] [--queue-capacity=Q]");
         } else {
             throw std::invalid_argument("unknown argument: " + std::string(arg));
         }
@@ -218,6 +229,12 @@ std::vector<std::pair<std::string, std::string>> describe_options(const run_opti
     }
     out.emplace_back("engine", opts.engine == engine_kind::batch ? "batch" : "scalar");
     if (opts.cap != kNoCap) out.emplace_back("cap", std::to_string(opts.cap));
+    if (opts.deadline_ms != 0) {
+        out.emplace_back("deadline-ms", std::to_string(opts.deadline_ms));
+    }
+    if (opts.queue_capacity != 0) {
+        out.emplace_back("queue-capacity", std::to_string(opts.queue_capacity));
+    }
     return out;
 }
 

@@ -43,6 +43,11 @@ namespace levy::sim {
 ///   --engine=E              walk-trial engine, "batch" (default) or
 ///                           "scalar"; results are bit-identical, only
 ///                           throughput differs (see sim/walk_engine.h)
+///   --deadline-ms=D         per-request deadline handed to serving/driver
+///                           layers (levyserve, E23); must be > 0 when given
+///                           (0 = keep the server's default)
+///   --queue-capacity=Q      admission-queue capacity for serving layers;
+///                           must be > 0 when given (0 = server default)
 ///   --cap=C                 truncate jump lengths at C (0 = uncapped, the
 ///                           default) — the truncated-Zipf regime of the
 ///                           intermittent variants; capped runs with C at or
@@ -69,6 +74,8 @@ struct run_options {
     int metrics_port = -1;                 ///< --metrics-port (-1 = off, 0 = ephemeral)
     engine_kind engine = engine_kind::batch;  ///< --engine
     std::uint64_t cap = kNoCap;               ///< --cap (kNoCap = uncapped)
+    std::uint64_t deadline_ms = 0;            ///< --deadline-ms (0 = unset)
+    std::size_t queue_capacity = 0;           ///< --queue-capacity (0 = unset)
 
     /// mc_options with this run's trials (or `default_trials` when the user
     /// didn't override) and a per-use salt so distinct experiment phases in

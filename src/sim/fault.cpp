@@ -44,6 +44,20 @@ void fault_after_trial(std::size_t index) noexcept {
     if (index == g_plan.cancel_after_trial) request_cancel();
 }
 
+void fault_before_query(std::size_t sequence) {
+    if (!fault_plan_active()) return;
+    if (sequence == g_plan.throw_at_query) {
+        throw injected_fault("injected worker fault at query " + std::to_string(sequence));
+    }
+}
+
+void fault_before_cache_flush(std::size_t ordinal) noexcept {
+    if (!fault_plan_active()) return;
+    if (ordinal == g_plan.exit_at_cache_flush) {
+        std::_Exit(9);  // SIGKILL-grade: the flush never reaches the disk
+    }
+}
+
 bool fault_on_checkpoint_flush(std::size_t ordinal, std::vector<char>& bytes) noexcept {
     if (!fault_plan_active() || bytes.empty()) return false;
     if (ordinal == g_plan.short_write_flush) {

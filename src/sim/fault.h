@@ -41,6 +41,16 @@ struct fault_plan {
     /// flush number N.
     std::size_t torn_write_flush = kNever;
     std::size_t torn_write_offset = 0;
+
+    /// --- Service faults (levyserve; see src/serve/server.h) --------------
+    /// Throw injected_fault from the worker handling query number N
+    /// (0-based admission order) — a crashing handler must answer 500 and
+    /// leave the server serving.
+    std::size_t throw_at_query = kNever;
+    /// std::_Exit the process when result-cache flush number N (1-based) is
+    /// about to persist — a kill -9 "between cache flushes": the previous
+    /// on-disk cache must survive and reload verbatim.
+    std::size_t exit_at_cache_flush = kNever;
 };
 
 /// Thrown by fault_before_trial when the plan says a worker dies here.
@@ -66,5 +76,14 @@ void fault_after_trial(std::size_t index) noexcept;
 /// survives on disk).
 [[nodiscard]] bool fault_on_checkpoint_flush(std::size_t ordinal,
                                              std::vector<char>& bytes) noexcept;
+
+/// Hook: a levyserve worker is about to run query number `sequence`. May
+/// throw injected_fault per the installed plan.
+void fault_before_query(std::size_t sequence);
+
+/// Hook: the result cache is about to persist flush number `ordinal`
+/// (1-based). May _Exit the process per the installed plan — the bytes are
+/// assembled but nothing has been renamed into place yet.
+void fault_before_cache_flush(std::size_t ordinal) noexcept;
 
 }  // namespace levy::sim

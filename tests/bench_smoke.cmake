@@ -25,7 +25,7 @@ set(benches
   e9_ants_baselines e10_monotonicity e11_origin_visits e12_distributions
   e13_displacement e14_kleinberg e15_micro e16_intermittent e17_foraging
   e18_strategy_ablation e19_torus_cauchy e20_first_passage
-  e21_exact_occupancy e22_advice_tradeoff)
+  e21_exact_occupancy e22_advice_tradeoff e23_serve_load)
 
 set(default_args --trials=50 --scale=0.25)
 # E1/E2: hit probabilities are tiny, the log-log fit needs >=2 budgets with

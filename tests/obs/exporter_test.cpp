@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <cctype>
+#include <chrono>
 #include <map>
 #include <optional>
 #include <sstream>
@@ -230,6 +231,65 @@ TEST_F(ExporterTest, RestartableAfterStop) {
     EXPECT_GT(second, 0);
     EXPECT_FALSE(http_get(second, "/healthz").empty());
     (void)first;
+}
+
+int connect_raw(unsigned short port) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) return -1;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+        ::close(fd);
+        return -1;
+    }
+    return fd;
+}
+
+// Regression: a client that connects and never sends a byte must not wedge
+// the (single-threaded) exporter — the head deadline cuts it off and the
+// next scrape succeeds.
+TEST_F(ExporterTest, SilentClientDoesNotWedgeTheExporter) {
+    const unsigned short port = start_metrics_exporter(0);
+    const int silent = connect_raw(port);
+    ASSERT_GE(silent, 0);
+    const auto start = std::chrono::steady_clock::now();
+    // Served strictly after the stalled connection (one server thread), so
+    // a reply at all proves the stall was bounded.
+    EXPECT_EQ(http_get(port, "/healthz"), "ok\n");
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+    EXPECT_LT(elapsed, 10.0);  // head deadline is 2 s; 10 s = something hung
+    ::close(silent);
+}
+
+// Regression for the slow-loris hole the shared serve/http layer closes: a
+// client dripping bytes faster than the per-recv timeout used to reset the
+// only timer the exporter had, holding its serving thread forever. The
+// *total* head deadline now evicts the dripper.
+TEST_F(ExporterTest, DripFeedClientIsCutOffByTheTotalHeadDeadline) {
+    const unsigned short port = start_metrics_exporter(0);
+    const int drip = connect_raw(port);
+    ASSERT_GE(drip, 0);
+    std::atomic<bool> stop_drip{false};
+    std::thread dripper([drip, &stop_drip] {
+        // One byte every 250 ms: far inside the 1 s per-recv timeout, never
+        // a complete head.
+        // MSG_NOSIGNAL: the server hanging up on the dripper is the point.
+        while (!stop_drip.load()) {
+            if (::send(drip, "G", 1, MSG_NOSIGNAL) <= 0) break;
+            std::this_thread::sleep_for(std::chrono::milliseconds(250));
+        }
+    });
+    const auto start = std::chrono::steady_clock::now();
+    EXPECT_EQ(http_get(port, "/healthz"), "ok\n");
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+    EXPECT_LT(elapsed, 10.0) << "drip client outlived the total head deadline";
+    stop_drip.store(true);
+    dripper.join();
+    ::close(drip);
 }
 
 #endif  // LEVY_TEST_HAVE_SOCKETS

@@ -1,0 +1,232 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "src/rng/rng_stream.h"
+#include "src/serve/cache.h"
+
+namespace levy::serve {
+namespace {
+
+std::string scratch_path(const char* name) {
+    return std::string(::testing::TempDir()) + name;
+}
+
+std::string slurp(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    return std::string(std::istreambuf_iterator<char>(in), {});
+}
+
+void spew(const std::string& path, const std::string& bytes) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+TEST(ResultCache, QuantizeSnapsToGridAndRoundTrips) {
+    result_cache cache(cache_options{});
+    const cache_key key = cache.quantize(2.5, 64, 8, 4096);
+    // Centers of the cell the query landed in match the query when it sits
+    // exactly on the grid (2.5 = 80/32; 4096 = 2^12 on the octave grid).
+    EXPECT_DOUBLE_EQ(cache.alpha_of(key.alpha_q), 2.5);
+    EXPECT_DOUBLE_EQ(cache.log2_budget_of(key.budget_q), 12.0);
+    EXPECT_EQ(key.ell, 64);
+    EXPECT_EQ(key.k, 8u);
+    // Nearby queries within half a grid step share the cell.
+    EXPECT_EQ(cache.quantize(2.51, 64, 8, 4100), key);
+    // ℓ and k stay exact — no mixing across them.
+    EXPECT_FALSE(cache.quantize(2.5, 65, 8, 4096) == key);
+    EXPECT_FALSE(cache.quantize(2.5, 64, 9, 4096) == key);
+}
+
+TEST(ResultCache, FindHitsAndLruEvictsColdest) {
+    cache_options opts;
+    opts.capacity = 2;
+    result_cache cache(opts);
+    const cache_key a = cache.quantize(2.0, 10, 1, 100);
+    const cache_key b = cache.quantize(2.5, 10, 1, 100);
+    const cache_key c = cache.quantize(3.0, 10, 1, 100);
+    cache.insert(a, {0.1, 0.05, 0.15, 50});
+    cache.insert(b, {0.2, 0.15, 0.25, 50});
+    ASSERT_TRUE(cache.find(a).has_value());  // refresh a: b is now coldest
+    cache.insert(c, {0.3, 0.25, 0.35, 50});
+    EXPECT_EQ(cache.size(), 2u);
+    EXPECT_TRUE(cache.find(a).has_value());
+    EXPECT_FALSE(cache.find(b).has_value());
+    EXPECT_TRUE(cache.find(c).has_value());
+}
+
+// S3 property test: whatever we insert (including junk outside [0, 1]) and
+// wherever we interpolate, the reported probability never leaves [0, 1].
+TEST(ResultCache, PropertyInterpolationNeverLeavesUnitInterval) {
+    cache_options opts;
+    opts.capacity = 512;
+    result_cache cache(opts);
+    levy::rng stream = levy::rng::seeded(0xC0FFEEu);
+    const auto uniform = [&stream](double lo, double hi) {
+        return stream.uniform(lo, hi);
+    };
+    // Populate with randomized values, some deliberately out of range —
+    // insert() clamps, so no later read can escape the unit interval.
+    for (int i = 0; i < 400; ++i) {
+        const double alpha = uniform(1.5, 3.5);
+        const auto budget = static_cast<std::uint64_t>(uniform(1.0, 1e6));
+        const cache_key key = cache.quantize(alpha, 16, 4, budget);
+        const double p = uniform(-0.5, 1.5);
+        cache.insert(key, {p, p - 0.1, p + 0.1, 100});
+    }
+    for (int i = 0; i < 2000; ++i) {
+        const double alpha = uniform(1.5, 3.5);
+        const auto budget = static_cast<std::uint64_t>(uniform(1.0, 1e6));
+        const auto interp = cache.interpolate(alpha, 16, 4, budget);
+        if (!interp.has_value()) continue;
+        EXPECT_GE(interp->probability, 0.0)
+            << "alpha=" << alpha << " budget=" << budget;
+        EXPECT_LE(interp->probability, 1.0)
+            << "alpha=" << alpha << " budget=" << budget;
+        EXPECT_GE(interp->grid_points, 1);
+        EXPECT_LE(interp->grid_points, 4);
+    }
+}
+
+TEST(ResultCache, BilinearInterpolationIsExactForBilinearData) {
+    result_cache cache(cache_options{});
+    // Values linear in (α, log₂ budget): interpolation must reproduce the
+    // plane exactly (up to clamping, which this data never triggers).
+    const auto plane = [](double alpha, double log2_budget) {
+        return 0.1 + 0.08 * alpha + 0.02 * log2_budget;
+    };
+    const cache_key base = cache.quantize(2.5, 32, 2, 1024);
+    for (int da = 0; da <= 1; ++da) {
+        for (int db = 0; db <= 1; ++db) {
+            cache_key key = base;
+            key.alpha_q += da;
+            key.budget_q += db;
+            const double v =
+                plane(cache.alpha_of(key.alpha_q), cache.log2_budget_of(key.budget_q));
+            cache.insert(key, {v, v, v, 100});
+        }
+    }
+    // A query strictly inside the cell sees all 4 corners.
+    const double alpha = cache.alpha_of(base.alpha_q) +
+                         0.4 * (cache.alpha_of(base.alpha_q + 1) -
+                                cache.alpha_of(base.alpha_q));
+    const double lb = cache.log2_budget_of(base.budget_q) +
+                      0.7 * (cache.log2_budget_of(base.budget_q + 1) -
+                             cache.log2_budget_of(base.budget_q));
+    const auto budget = static_cast<std::uint64_t>(std::pow(2.0, lb) + 0.5);
+    const auto interp = cache.interpolate(alpha, 32, 2, budget);
+    ASSERT_TRUE(interp.has_value());
+    EXPECT_EQ(interp->grid_points, 4);
+    // The budget rounds to an integer, so compare against the plane at the
+    // *actual* coordinate.
+    const double expected = plane(alpha, std::log2(static_cast<double>(budget)));
+    EXPECT_NEAR(interp->probability, expected, 1e-3);
+}
+
+TEST(ResultCache, SaveLoadRoundTripsEveryEntry) {
+    const std::string path = scratch_path("cache_roundtrip.bin");
+    result_cache cache(cache_options{});
+    std::vector<cache_key> keys;
+    for (int i = 0; i < 32; ++i) {
+        const cache_key key = cache.quantize(2.0 + 0.05 * i, 8 + i, 2, 100 + 40 * i);
+        keys.push_back(key);
+        cache.insert(key, {0.01 * i, 0.005 * i, 0.02 * i, 100u + static_cast<std::uint64_t>(i)});
+    }
+    cache.save(path);
+    result_cache loaded(cache_options{});
+    EXPECT_EQ(loaded.load(path), 32u);
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+        const auto v = loaded.find(keys[i]);
+        ASSERT_TRUE(v.has_value()) << "entry " << i;
+        EXPECT_DOUBLE_EQ(v->probability, 0.01 * static_cast<double>(i));
+        EXPECT_EQ(v->trials, 100u + i);
+    }
+    std::remove(path.c_str());
+}
+
+// S3 property test: flip one bit at EVERY byte offset of the persisted
+// file. Each corruption drops at most the records its CRC covers — loading
+// never throws, never loads garbage values, and a flip in one record's
+// bytes leaves the other records intact.
+TEST(ResultCache, PropertyBitFlipDropsOnlyTheCorruptedRecord) {
+    const std::string path = scratch_path("cache_bitflip.bin");
+    result_cache cache(cache_options{});
+    constexpr int kEntries = 8;
+    for (int i = 0; i < kEntries; ++i) {
+        const cache_key key = cache.quantize(2.0 + 0.1 * i, 16, 2, 1000);
+        cache.insert(key, {0.1 + 0.05 * i, 0.0, 1.0, 64});
+    }
+    cache.save(path);
+    const std::string pristine = slurp(path);
+    ASSERT_FALSE(pristine.empty());
+
+    const std::string flipped_path = scratch_path("cache_bitflip_mut.bin");
+    for (std::size_t offset = 0; offset < pristine.size(); ++offset) {
+        std::string mutated = pristine;
+        mutated[offset] = static_cast<char>(mutated[offset] ^ 0x40);
+        spew(flipped_path, mutated);
+        result_cache loaded(cache_options{});
+        std::size_t kept = 0;
+        ASSERT_NO_THROW(kept = loaded.load(flipped_path)) << "offset " << offset;
+        // A single bit flip invalidates the header (drop all) or exactly
+        // one record's CRC scope — never more than one record otherwise.
+        EXPECT_TRUE(kept == kEntries - 1 || kept == kEntries || kept == 0)
+            << "offset " << offset << " kept " << kept;
+        // Whatever loaded must be byte-faithful to an original entry.
+        for (int i = 0; i < kEntries; ++i) {
+            const cache_key key = cache.quantize(2.0 + 0.1 * i, 16, 2, 1000);
+            const auto v = loaded.find(key);
+            if (!v.has_value()) continue;
+            EXPECT_DOUBLE_EQ(v->probability, 0.1 + 0.05 * i)
+                << "offset " << offset << " entry " << i;
+        }
+    }
+    std::remove(path.c_str());
+    std::remove(flipped_path.c_str());
+}
+
+TEST(ResultCache, TruncatedFileLosesOnlyTheTail) {
+    const std::string path = scratch_path("cache_trunc.bin");
+    result_cache cache(cache_options{});
+    for (int i = 0; i < 8; ++i) {
+        cache.insert(cache.quantize(2.0 + 0.1 * i, 16, 2, 1000),
+                     {0.1 + 0.05 * i, 0.0, 1.0, 64});
+    }
+    cache.save(path);
+    const std::string pristine = slurp(path);
+    // Chop a third off the end: the surviving prefix of whole records must
+    // still load (MRU-first serialization keeps the hottest entries).
+    spew(path, pristine.substr(0, pristine.size() * 2 / 3));
+    result_cache loaded(cache_options{});
+    std::size_t kept = 0;
+    ASSERT_NO_THROW(kept = loaded.load(path));
+    EXPECT_GT(kept, 0u);
+    EXPECT_LT(kept, 8u);
+    std::remove(path.c_str());
+}
+
+TEST(ResultCache, MissingFileLoadsNothing) {
+    result_cache cache(cache_options{});
+    EXPECT_EQ(cache.load(scratch_path("does_not_exist.bin")), 0u);
+    EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(ResultCache, DirtyInsertsResetOnSave) {
+    const std::string path = scratch_path("cache_dirty.bin");
+    result_cache cache(cache_options{});
+    EXPECT_EQ(cache.dirty_inserts(), 0u);
+    cache.insert(cache.quantize(2.0, 16, 2, 1000), {0.5, 0.4, 0.6, 64});
+    cache.insert(cache.quantize(2.5, 16, 2, 1000), {0.6, 0.5, 0.7, 64});
+    EXPECT_EQ(cache.dirty_inserts(), 2u);
+    cache.save(path);
+    EXPECT_EQ(cache.dirty_inserts(), 0u);
+    std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace levy::serve

@@ -1,0 +1,173 @@
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+
+#include "src/serve/http.h"
+
+#if LEVY_SERVE_HAVE_POSIX_SOCKETS
+#include <sys/socket.h>
+#include <unistd.h>
+#endif
+
+namespace levy::serve {
+namespace {
+
+TEST(HttpParse, RequestLineSplitsPathAndQuery) {
+    http_request req;
+    ASSERT_TRUE(parse_request_line("GET /query?alpha=2.5&ell=64&k=8 HTTP/1.1", req));
+    EXPECT_EQ(req.method, "GET");
+    EXPECT_EQ(req.path, "/query");
+    ASSERT_EQ(req.query.size(), 3u);
+    ASSERT_NE(req.param("alpha"), nullptr);
+    EXPECT_EQ(*req.param("alpha"), "2.5");
+    ASSERT_NE(req.param("ell"), nullptr);
+    EXPECT_EQ(*req.param("ell"), "64");
+    EXPECT_EQ(req.param("missing"), nullptr);
+}
+
+TEST(HttpParse, PercentDecodingAndValuelessKeys) {
+    http_request req;
+    ASSERT_TRUE(parse_request_line("GET /a%20b?x=1%2B2&flag HTTP/1.1", req));
+    EXPECT_EQ(req.path, "/a b");
+    ASSERT_NE(req.param("x"), nullptr);
+    EXPECT_EQ(*req.param("x"), "1+2");
+    ASSERT_NE(req.param("flag"), nullptr);
+    EXPECT_EQ(*req.param("flag"), "");
+}
+
+TEST(HttpParse, RejectsMalformedRequestLines) {
+    http_request req;
+    EXPECT_FALSE(parse_request_line("", req));
+    EXPECT_FALSE(parse_request_line("GET", req));
+    EXPECT_FALSE(parse_request_line("GET /x", req));
+    EXPECT_FALSE(parse_request_line("GET /x HTTP/1.1 extra", req));
+    EXPECT_FALSE(parse_request_line("GET nopath HTTP/1.1", req));
+}
+
+TEST(HttpParse, UrlDecodePassesInvalidEscapesThrough) {
+    EXPECT_EQ(url_decode("a%2Fb"), "a/b");
+    EXPECT_EQ(url_decode("bad%zz"), "bad%zz");
+    EXPECT_EQ(url_decode("trunc%2"), "trunc%2");
+}
+
+TEST(HttpRender, ResponseCarriesLengthAndRetryAfter) {
+    http_response resp;
+    resp.status = 503;
+    resp.body = "overloaded";
+    resp.retry_after_seconds = 7;
+    const std::string bytes = render_response(resp);
+    EXPECT_NE(bytes.find("HTTP/1.1 503 Service Unavailable\r\n"), std::string::npos);
+    EXPECT_NE(bytes.find("Content-Length: 10\r\n"), std::string::npos);
+    EXPECT_NE(bytes.find("Retry-After: 7\r\n"), std::string::npos);
+    EXPECT_NE(bytes.find("Connection: close\r\n"), std::string::npos);
+    EXPECT_EQ(bytes.substr(bytes.size() - 10), "overloaded");
+}
+
+TEST(HttpRender, NoRetryAfterByDefault) {
+    http_response resp;
+    resp.body = "ok";
+    EXPECT_EQ(render_response(resp).find("Retry-After"), std::string::npos);
+}
+
+#if LEVY_SERVE_HAVE_POSIX_SOCKETS
+
+/// Tight limits so the slow-client tests finish in well under a second.
+http_limits tight_limits() {
+    http_limits limits;
+    limits.io_timeout_seconds = 0.05;
+    limits.head_deadline_seconds = 0.25;
+    limits.max_head_bytes = 512;
+    return limits;
+}
+
+TEST(HttpReadHead, ParsesACompleteHead) {
+    int fds[2];
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    const std::string head = "GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n";
+    ASSERT_TRUE(send_all(fds[1], head));
+    http_request req;
+    EXPECT_EQ(read_request_head(fds[0], tight_limits(), req), head_status::ok);
+    EXPECT_EQ(req.path, "/metrics");
+    ::close(fds[0]);
+    ::close(fds[1]);
+}
+
+TEST(HttpReadHead, SilentClientTimesOutAtTheDeadline) {
+    int fds[2];
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    http_request req;
+    const auto start = std::chrono::steady_clock::now();
+    EXPECT_EQ(read_request_head(fds[0], tight_limits(), req), head_status::timeout);
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+    EXPECT_GE(elapsed, 0.2);  // waited out the total deadline...
+    EXPECT_LT(elapsed, 2.0);  // ...but nowhere near unbounded
+    ::close(fds[0]);
+    ::close(fds[1]);
+}
+
+// The slow-loris regression: a drip-feed client sends one byte per
+// io_timeout interval, so every per-recv timer is reset and a server with
+// only per-recv timeouts reads forever. The *total* head deadline must cut
+// the connection off regardless.
+TEST(HttpReadHead, DripFeedClientCannotOutliveTheTotalDeadline) {
+    int fds[2];
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    const http_limits limits = tight_limits();
+    std::thread drip([fd = fds[1]] {
+        // Never a terminator, never a pause long enough to trip a per-recv
+        // timer on its own. MSG_NOSIGNAL: the reader hanging up mid-drip is
+        // the expected outcome, not a SIGPIPE.
+        for (int i = 0; i < 40; ++i) {
+            if (::send(fd, "x", 1, MSG_NOSIGNAL) <= 0) break;
+            std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        }
+    });
+    http_request req;
+    const auto start = std::chrono::steady_clock::now();
+    EXPECT_EQ(read_request_head(fds[0], limits, req), head_status::timeout);
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+    EXPECT_LT(elapsed, limits.head_deadline_seconds + 0.5);
+    ::close(fds[0]);
+    drip.join();
+    ::close(fds[1]);
+}
+
+TEST(HttpReadHead, OversizedHeadIsRejectedNotBuffered) {
+    int fds[2];
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    const std::string big = "GET /" + std::string(2048, 'a') + " HTTP/1.1\r\n";
+    ASSERT_TRUE(send_all(fds[1], big));
+    http_request req;
+    EXPECT_EQ(read_request_head(fds[0], tight_limits(), req), head_status::too_large);
+    ::close(fds[0]);
+    ::close(fds[1]);
+}
+
+TEST(HttpReadHead, ClosedPeerReportsClosed) {
+    int fds[2];
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    ASSERT_TRUE(send_all(fds[1], "GET /x HT"));
+    ::close(fds[1]);
+    http_request req;
+    EXPECT_EQ(read_request_head(fds[0], tight_limits(), req), head_status::closed);
+    ::close(fds[0]);
+}
+
+TEST(HttpReadHead, GarbageRequestLineIsMalformed) {
+    int fds[2];
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    ASSERT_TRUE(send_all(fds[1], "not an http request line\r\n\r\n"));
+    http_request req;
+    EXPECT_EQ(read_request_head(fds[0], tight_limits(), req), head_status::malformed);
+    ::close(fds[0]);
+    ::close(fds[1]);
+}
+
+#endif  // LEVY_SERVE_HAVE_POSIX_SOCKETS
+
+}  // namespace
+}  // namespace levy::serve

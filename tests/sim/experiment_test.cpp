@@ -154,6 +154,78 @@ TEST(RunOptions, RejectsZeroCheckpointInterval) {
                  std::invalid_argument);
 }
 
+TEST(RunOptions, ParsesServeFlags) {
+    std::vector<std::string> args = {"--deadline-ms=250", "--queue-capacity=32"};
+    auto argv = argv_of(args);
+    const auto opts = parse_run_options(static_cast<int>(argv.size()), argv.data());
+    EXPECT_EQ(opts.deadline_ms, 250u);
+    EXPECT_EQ(opts.queue_capacity, 32u);
+
+    std::vector<std::string> none;
+    auto argv2 = argv_of(none);
+    const auto defaults = parse_run_options(static_cast<int>(argv2.size()), argv2.data());
+    EXPECT_EQ(defaults.deadline_ms, 0u);      // 0 = server default
+    EXPECT_EQ(defaults.queue_capacity, 0u);
+}
+
+// Each rejection must name the offending flag — a 2 a.m. operator staring
+// at a failed service start should not have to guess which knob was wrong.
+TEST(RunOptions, RejectsNonPositiveDeadlineMsNamingTheFlag) {
+    for (const char* bad : {"--deadline-ms=0", "--deadline-ms=-5"}) {
+        std::vector<std::string> args = {bad};
+        auto argv = argv_of(args);
+        try {
+            (void)parse_run_options(static_cast<int>(argv.size()), argv.data());
+            FAIL() << bad << " was accepted";
+        } catch (const std::invalid_argument& e) {
+            EXPECT_NE(std::string(e.what()).find("--deadline-ms"), std::string::npos)
+                << bad << " -> " << e.what();
+        }
+    }
+}
+
+TEST(RunOptions, RejectsNonPositiveQueueCapacityNamingTheFlag) {
+    for (const char* bad : {"--queue-capacity=0", "--queue-capacity=-5"}) {
+        std::vector<std::string> args = {bad};
+        auto argv = argv_of(args);
+        try {
+            (void)parse_run_options(static_cast<int>(argv.size()), argv.data());
+            FAIL() << bad << " was accepted";
+        } catch (const std::invalid_argument& e) {
+            EXPECT_NE(std::string(e.what()).find("--queue-capacity"), std::string::npos)
+                << bad << " -> " << e.what();
+        }
+    }
+}
+
+TEST(RunOptions, DescribeIncludesServeFlagsOnlyWhenSet) {
+    std::vector<std::string> none;
+    auto argv = argv_of(none);
+    const auto defaults = parse_run_options(static_cast<int>(argv.size()), argv.data());
+    for (const auto& [key, value] : describe_options(defaults)) {
+        EXPECT_NE(key, "deadline-ms") << value;
+        EXPECT_NE(key, "queue-capacity") << value;
+    }
+
+    std::vector<std::string> args = {"--deadline-ms=100", "--queue-capacity=8"};
+    auto argv2 = argv_of(args);
+    const auto opts = parse_run_options(static_cast<int>(argv2.size()), argv2.data());
+    bool saw_deadline = false;
+    bool saw_capacity = false;
+    for (const auto& [key, value] : describe_options(opts)) {
+        if (key == "deadline-ms") {
+            saw_deadline = true;
+            EXPECT_EQ(value, "100");
+        }
+        if (key == "queue-capacity") {
+            saw_capacity = true;
+            EXPECT_EQ(value, "8");
+        }
+    }
+    EXPECT_TRUE(saw_deadline);
+    EXPECT_TRUE(saw_capacity);
+}
+
 TEST(RunOptions, HelpThrowsUsage) {
     std::vector<std::string> args = {"--help"};
     auto argv = argv_of(args);

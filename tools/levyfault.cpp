@@ -18,6 +18,14 @@
 //       reference, then a crashed run, then a resume, and byte-compares
 //       the resumed CSV against the reference. Also proves torn-write
 //       recovery. Exit 0 = every scenario bit-identical.
+//
+//   levyfault serve
+//       In-process service-fault drills against a live levyserve core
+//       (src/serve/server.h): a stalled client socket is cut off by the
+//       head deadline without wedging the lone worker; a client that
+//       resets mid-response leaves the server serving; an injected worker
+//       exception during a query answers 500 and the *next* query answers
+//       200. Exit 0 = the server survived every abuse.
 
 #include <charconv>
 #include <cstdint>
@@ -31,10 +39,16 @@
 #include <string_view>
 
 #include "src/core/strategy.h"
+#include "src/serve/http.h"
+#include "src/serve/server.h"
 #include "src/sim/experiment.h"
 #include "src/sim/fault.h"
 #include "src/sim/monte_carlo.h"
 #include "src/sim/trial.h"
+
+#if LEVY_SERVE_HAVE_POSIX_SOCKETS
+#include <unistd.h>
+#endif
 
 namespace {
 
@@ -210,8 +224,95 @@ int cmd_selftest(const std::string& self, const arg_map& args) {
     return 0;
 }
 
+#if LEVY_SERVE_HAVE_POSIX_SOCKETS
+
+int serve_fail(serve::server& server, const std::string& what) {
+    server.stop();
+    std::cerr << "levyfault serve FAILED: " << what << "\n";
+    return 1;
+}
+
+int cmd_serve_drills() {
+    // One worker and a tiny queue: if any drill wedged the worker, the
+    // follow-up health check could never answer.
+    serve::serve_options opts;
+    opts.workers = 1;
+    opts.queue_capacity = 4;
+    opts.steps_per_ms = 1000;
+    opts.default_trials = 16;
+    opts.limits.io_timeout_seconds = 0.2;
+    opts.limits.head_deadline_seconds = 0.5;
+
+    serve::server server(opts);
+    const unsigned short port = server.start();
+    int status = 0;
+
+    std::cout << "[levyfault] drill 1: stalled client socket\n";
+    // Connect and send nothing: the lone worker must hand the connection
+    // back once the 0.5 s head deadline lapses, not wait on it forever.
+    const int stalled = serve::connect_client(port, 5.0);
+    if (stalled < 0) return serve_fail(server, "could not open the stalled connection");
+    if (!serve::http_get(port, "/healthz", 5.0, &status).has_value() || status != 200) {
+        ::close(stalled);
+        return serve_fail(server, "healthz blocked behind a stalled client");
+    }
+    ::close(stalled);
+
+    std::cout << "[levyfault] drill 2: half a request, then silence\n";
+    const int drip = serve::connect_client(port, 5.0);
+    if (drip < 0) return serve_fail(server, "could not open the drip connection");
+    (void)serve::send_all(drip, "GET /metr");  // head never completes
+    if (!serve::http_get(port, "/healthz", 5.0, &status).has_value() || status != 200) {
+        ::close(drip);
+        return serve_fail(server, "healthz blocked behind a half-sent head");
+    }
+    ::close(drip);
+
+    std::cout << "[levyfault] drill 3: client resets mid-response\n";
+    const int reset = serve::connect_client(port, 5.0);
+    if (reset < 0) return serve_fail(server, "could not open the resetting connection");
+    (void)serve::send_all(reset, "GET /metrics HTTP/1.1\r\n\r\n");
+    ::close(reset);  // gone before reading a byte of the reply
+    if (!serve::http_get(port, "/healthz", 5.0, &status).has_value() || status != 200) {
+        return serve_fail(server, "healthz blocked after a mid-response reset");
+    }
+
+    std::cout << "[levyfault] drill 4: worker exception during a query\n";
+    // The next admitted connection's sequence number gets the injected
+    // fault: that query must answer 500, the one after it 200.
+    sim::fault_plan plan;
+    plan.throw_at_query = server.stats().admission.admitted;
+    sim::install_fault_plan(plan);
+    const std::string query = "/query?alpha=2.5&ell=16&k=2&budget=1000&trials=8";
+    (void)serve::http_get(port, query, 10.0, &status);
+    sim::clear_fault_plan();
+    if (status != 500) {
+        return serve_fail(server, "injected worker fault did not answer 500 (got " +
+                                      std::to_string(status) + ")");
+    }
+    if (!serve::http_get(port, query, 30.0, &status).has_value() || status != 200) {
+        return serve_fail(server, "server did not keep serving after a worker fault");
+    }
+    if (server.stats().worker_faults != 1) {
+        return serve_fail(server, "worker fault was not counted exactly once");
+    }
+
+    server.stop();
+    std::cout << "[levyfault] serve drills OK: server survived every abuse\n";
+    return 0;
+}
+
+#else
+
+int cmd_serve_drills() {
+    std::cerr << "levyfault serve requires POSIX sockets on this platform\n";
+    return 2;
+}
+
+#endif  // LEVY_SERVE_HAVE_POSIX_SOCKETS
+
 void usage() {
-    std::cout << "levyfault <run|selftest> [--flag=value ...]   (see source header)\n";
+    std::cout << "levyfault <run|selftest|serve> [--flag=value ...]   (see source header)\n";
 }
 
 }  // namespace
@@ -226,6 +327,7 @@ int main(int argc, char** argv) {
         const arg_map args(argc, argv, 2);
         if (cmd == "run") return cmd_run(args);
         if (cmd == "selftest") return cmd_selftest(argv[0], args);
+        if (cmd == "serve") return cmd_serve_drills();
         usage();
         return 2;
     } catch (const sim::run_cancelled&) {
