@@ -47,6 +47,7 @@ void sweep(const sim::run_options& opts, std::size_t k, std::int64_t ell,
         cfg.max_steps = opts.max_trial_steps;
         cfg.cap = opts.cap;
         cfg.engine = opts.engine;
+        opts.apply_sharding(cfg);
         const auto mc = opts.mc(/*default_trials=*/80,
                                 /*salt=*/static_cast<std::uint64_t>(alpha * 1000) + k);
         const auto sample = sim::parallel_hitting_times(cfg, mc);

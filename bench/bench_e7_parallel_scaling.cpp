@@ -47,6 +47,7 @@ void run(const sim::run_options& opts) {
         cfg.max_steps = opts.max_trial_steps;
         cfg.cap = opts.cap;
         cfg.engine = opts.engine;
+        opts.apply_sharding(cfg);
         const auto mc = opts.mc(/*default_trials=*/150, /*salt=*/k);
         const auto sample = sim::parallel_hitting_times(cfg, mc);
         const double med = stats::median(sample.times);

@@ -56,6 +56,7 @@ void run(const sim::run_options& opts) {
             cfg.ell = ell;
             cfg.budget = static_cast<std::uint64_t>(48.0 * lb);
             cfg.max_steps = opts.max_trial_steps;
+            opts.apply_sharding(cfg);
             const auto mc = opts.mc(/*default_trials=*/50,
                                     /*salt=*/static_cast<std::uint64_t>(ell) * 10 +
                                         strategy_index);

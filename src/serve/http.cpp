@@ -246,9 +246,33 @@ int connect_client(unsigned short port, double timeout_seconds) noexcept {
     return fd;
 }
 
+namespace {
+
+/// Strict full-field status parse: exactly three digits followed by a space
+/// (or CR for a phrase-less line). Returns 0 for anything else — a garbage
+/// status line must read as "no status", never as a fabricated code the way
+/// atoi's silent prefix parse did.
+int parse_status_field(const std::string& response) noexcept {
+    if (response.size() < 12) return 0;
+    int status = 0;
+    for (std::size_t i = 9; i < 12; ++i) {
+        const char c = response[i];
+        if (c < '0' || c > '9') return 0;
+        status = status * 10 + (c - '0');
+    }
+    const char delim = response[12];
+    if (delim != ' ' && delim != '\r') return 0;
+    return status >= 100 && status <= 599 ? status : 0;
+}
+
+}  // namespace
+
 std::optional<std::string> http_get(unsigned short port, const std::string& path,
-                                    double timeout_seconds, int* status_out) {
+                                    double timeout_seconds, int* status_out,
+                                    std::size_t max_response_bytes) {
     if (status_out != nullptr) *status_out = 0;
+    using clock = std::chrono::steady_clock;
+    const auto start = clock::now();
     const int fd = connect_client(port, timeout_seconds);
     if (fd < 0) return std::nullopt;
     const std::string request =
@@ -259,16 +283,36 @@ std::optional<std::string> http_get(unsigned short port, const std::string& path
     }
     std::string response;
     char buf[4096];
+    bool complete = false;
     for (;;) {
+        // Same total-deadline rule as read_request_head, mirrored client
+        // side: each drip of bytes resets a per-recv timer but not this
+        // clock, so a slow-loris *server* cannot pin the caller.
+        const double elapsed = std::chrono::duration<double>(clock::now() - start).count();
+        const double remaining = timeout_seconds - elapsed;
+        if (remaining <= 0.0) break;  // deadline: treat as torn
+        set_recv_timeout(fd, remaining);
         const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
-        if (n <= 0) break;
+        if (n == 0) {
+            complete = true;  // orderly close: the response is whole
+            break;
+        }
+        if (n < 0) {
+            if (errno == EINTR) continue;
+            break;  // timeout or error: treat as torn
+        }
+        if (response.size() + static_cast<std::size_t>(n) > max_response_bytes) {
+            break;  // oversized response: bounded buffering, like the server
+        }
         response.append(buf, static_cast<std::size_t>(n));
     }
     ::close(fd);
-    if (response.compare(0, 9, "HTTP/1.1 ") != 0 || response.size() < 12) {
+    if (!complete || response.compare(0, 9, "HTTP/1.1 ") != 0) {
         return std::nullopt;
     }
-    if (status_out != nullptr) *status_out = std::atoi(response.c_str() + 9);
+    const int status = parse_status_field(response);
+    if (status == 0) return std::nullopt;
+    if (status_out != nullptr) *status_out = status;
     const std::size_t body = response.find("\r\n\r\n");
     if (body == std::string::npos) return std::nullopt;
     return response.substr(body + 4);

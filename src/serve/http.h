@@ -123,12 +123,19 @@ bool send_all(int fd, const std::string& bytes) noexcept;
 [[nodiscard]] int connect_client(unsigned short port, double timeout_seconds) noexcept;
 
 /// One blocking GET of `path` against 127.0.0.1:`port` over a fresh
-/// connection. Returns nullopt when unreachable or the response is torn.
-/// `status_out`, when given, receives the numeric status (0 on no reply).
+/// connection. Returns nullopt when unreachable, the response is torn, the
+/// status line is not a well-formed three-digit HTTP/1.1 status, the
+/// response exceeds `max_response_bytes`, or the *total* wall clock exceeds
+/// `timeout_seconds` — the client-side mirror of read_request_head's
+/// slow-loris rule: a server dripping one byte per recv-timeout window
+/// resets a per-recv timer forever but cannot outlive the total deadline.
+/// `status_out`, when given, receives the numeric status (0 on no reply or
+/// a garbage status line).
 [[nodiscard]] std::optional<std::string> http_get(unsigned short port,
                                                   const std::string& path,
                                                   double timeout_seconds = 5.0,
-                                                  int* status_out = nullptr);
+                                                  int* status_out = nullptr,
+                                                  std::size_t max_response_bytes = 1 << 26);
 
 #endif  // LEVY_SERVE_HAVE_POSIX_SOCKETS
 

@@ -16,8 +16,11 @@ namespace levy::sim {
 [[nodiscard]] std::uint32_t crc32(const void* data, std::size_t len) noexcept;
 
 /// Write `bytes` to `path` crash-safely: the content goes to `<path>.tmp`,
-/// is fsync'd, and is renamed over `path` in one atomic step, so `path`
-/// only ever holds a complete previous version or a complete new version.
+/// is fsync'd, is renamed over `path` in one atomic step, and the parent
+/// directory is fsync'd so the rename itself is durable — `path` only ever
+/// holds a complete previous version or a complete new version, and a
+/// version that was reported written survives power loss (POSIX persists a
+/// rename only once the directory entry is synced; see DESIGN.md §11).
 /// Throws std::runtime_error on I/O failure (the temp file is removed).
 void atomic_write_file(const std::string& path, const std::vector<char>& bytes);
 

@@ -3,6 +3,7 @@
 #include <charconv>
 #include <csignal>
 #include <filesystem>
+#include <limits>
 #include <set>
 #include <sstream>
 #include <stdexcept>
@@ -37,6 +38,25 @@ T parse_number(std::string_view text, std::string_view flag) {
 
 /// fsync every this many rows: bounded loss on kill without a syscall per row.
 constexpr std::size_t kCsvSyncBatch = 64;
+
+/// Byte count with an optional binary-multiple suffix: "64M", "2G", "4096".
+std::uint64_t parse_bytes(std::string_view text, std::string_view flag) {
+    std::uint64_t multiplier = 1;
+    const char last = text.back();  // callers guarantee non-empty
+    switch (last) {
+        case 'K': case 'k': multiplier = 1ULL << 10; break;
+        case 'M': case 'm': multiplier = 1ULL << 20; break;
+        case 'G': case 'g': multiplier = 1ULL << 30; break;
+        case 'T': case 't': multiplier = 1ULL << 40; break;
+        default: break;
+    }
+    if (multiplier != 1) text.remove_suffix(1);
+    const auto value = parse_number<std::uint64_t>(text, flag);
+    if (value != 0 && value > std::numeric_limits<std::uint64_t>::max() / multiplier) {
+        throw std::invalid_argument("value overflows for --" + std::string(flag));
+    }
+    return value * multiplier;
+}
 
 std::string hex64(std::uint64_t v) {
     std::ostringstream out;
@@ -164,13 +184,24 @@ run_options parse_run_options(int argc, char** argv) {
             const auto v = parse_number<std::int64_t>(qc, "queue-capacity");
             LEVY_PRECONDITION(v > 0, "--queue-capacity must be > 0");
             opts.queue_capacity = static_cast<std::size_t>(v);
+        } else if (auto sh = eat("--shards"); !sh.empty()) {
+            opts.shards = parse_number<std::size_t>(sh, "shards");
+        } else if (auto mb = eat("--memory-budget"); !mb.empty()) {
+            opts.memory_budget = parse_bytes(mb, "memory-budget");
+        } else if (auto sd = eat("--spill-dir"); !sd.empty()) {
+            opts.spill_dir = std::string(sd);
+        } else if (auto sr = eat("--sync-rounds"); !sr.empty()) {
+            opts.sync_rounds = parse_number<std::size_t>(sr, "sync-rounds");
+        } else if (auto es = eat("--epoch-steps"); !es.empty()) {
+            opts.epoch_steps = parse_number<std::uint64_t>(es, "epoch-steps");
         } else if (arg == "--help" || arg == "-h") {
             throw std::invalid_argument(
                 "usage: [--trials=N] [--scale=S] [--threads=T] [--chunk=C] [--seed=X] "
                 "[--csv=PATH] [--checkpoint=DIR] [--checkpoint-interval=K] "
                 "[--max-steps-per-trial=M] [--json=PATH|-] [--json-dir=DIR] [--trace=PATH] "
                 "[--progress[=SECS]] [--metrics-port=P] [--engine=scalar|batch] [--cap=C] "
-                "[--deadline-ms=D] [--queue-capacity=Q]");
+                "[--deadline-ms=D] [--queue-capacity=Q] [--shards=S] [--memory-budget=B] "
+                "[--spill-dir=DIR] [--sync-rounds=R] [--epoch-steps=N]");
         } else {
             throw std::invalid_argument("unknown argument: " + std::string(arg));
         }
@@ -234,6 +265,17 @@ std::vector<std::pair<std::string, std::string>> describe_options(const run_opti
     }
     if (opts.queue_capacity != 0) {
         out.emplace_back("queue-capacity", std::to_string(opts.queue_capacity));
+    }
+    if (opts.shards > 1) out.emplace_back("shards", std::to_string(opts.shards));
+    if (opts.memory_budget != 0) {
+        out.emplace_back("memory-budget", std::to_string(opts.memory_budget));
+    }
+    if (!opts.spill_dir.empty()) out.emplace_back("spill-dir", opts.spill_dir);
+    if (opts.sync_rounds != 1) {
+        out.emplace_back("sync-rounds", std::to_string(opts.sync_rounds));
+    }
+    if (opts.epoch_steps != 0) {
+        out.emplace_back("epoch-steps", std::to_string(opts.epoch_steps));
     }
     return out;
 }

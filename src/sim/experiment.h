@@ -55,6 +55,19 @@ namespace levy::sim {
 ///                           engine's shared distribution cache pays most
 ///                           (the scalar path rebuilds an O(C) table per
 ///                           walker per trial)
+///   --shards=S              out-of-core mode (batch engine only): partition
+///                           each parallel trial's walkers into S id-block
+///                           shards advanced epoch-by-epoch, idle shards
+///                           spilled to disk; results stay bit-identical to
+///                           the in-memory engine (S <= 1 and no
+///                           --memory-budget = in-memory)
+///   --memory-budget=B       resident walker-state cap in bytes (suffixes
+///                           K/M/G/T = binary multiples); implies sharded
+///                           mode and raises the shard count until one
+///                           shard fits; 0 = unlimited
+///   --spill-dir=DIR         where sharded trials spill/resume their shard
+///                           files (default: a per-process temp directory —
+///                           crash resume across runs needs a stable DIR)
 /// Unknown arguments, malformed/empty values, and duplicated flags all
 /// throw, so typos fail loudly.
 struct run_options {
@@ -76,6 +89,21 @@ struct run_options {
     std::uint64_t cap = kNoCap;               ///< --cap (kNoCap = uncapped)
     std::uint64_t deadline_ms = 0;            ///< --deadline-ms (0 = unset)
     std::size_t queue_capacity = 0;           ///< --queue-capacity (0 = unset)
+    std::size_t shards = 0;                   ///< --shards (<= 1 = in-memory)
+    std::uint64_t memory_budget = 0;          ///< --memory-budget bytes (0 = unlimited)
+    std::string spill_dir;                    ///< --spill-dir (empty = temp dir)
+    std::size_t sync_rounds = 1;              ///< --sync-rounds (0 = spill only on evict)
+    std::uint64_t epoch_steps = 0;            ///< --epoch-steps (0 = budget/8 default)
+
+    /// Copy the sharding knobs into a parallel-trial config (helper so every
+    /// bench wires them the same way).
+    void apply_sharding(parallel_walk_config& cfg) const {
+        cfg.shards = shards;
+        cfg.memory_budget = memory_budget;
+        cfg.spill_dir = spill_dir;
+        cfg.sync_rounds = sync_rounds;
+        cfg.epoch_steps = epoch_steps;
+    }
 
     /// mc_options with this run's trials (or `default_trials` when the user
     /// didn't override) and a per-use salt so distinct experiment phases in

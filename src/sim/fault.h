@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <stdexcept>
 #include <vector>
 
@@ -41,6 +42,22 @@ struct fault_plan {
     /// flush number N.
     std::size_t torn_write_flush = kNever;
     std::size_t torn_write_offset = 0;
+
+    /// --- Shard-spill faults (sim/shard_engine) ---------------------------
+    /// std::_Exit the process when shard spill number N (1-based, counted
+    /// across the run) is about to persist — a kill -9 mid-epoch: shards
+    /// already renamed into place survive, everything else is recomputed on
+    /// resume.
+    std::size_t exit_at_shard_spill = kNever;
+    /// Truncate shard spill number N to `short_shard_spill_bytes` bytes (a
+    /// torn disk under the atomic-write layer). The corruption is detected
+    /// at the next load by CRC and only that shard recomputes.
+    std::size_t short_shard_spill = kNever;
+    std::size_t short_shard_spill_bytes = 0;
+    /// XOR one byte (at `torn_shard_spill_offset` mod file size) of shard
+    /// spill number N.
+    std::size_t torn_shard_spill = kNever;
+    std::size_t torn_shard_spill_offset = 0;
 
     /// --- Service faults (levyserve; see src/serve/server.h) --------------
     /// Throw injected_fault from the worker handling query number N
@@ -85,5 +102,20 @@ void fault_before_query(std::size_t sequence);
 /// (1-based). May _Exit the process per the installed plan — the bytes are
 /// assembled but nothing has been renamed into place yet.
 void fault_before_cache_flush(std::size_t ordinal) noexcept;
+
+/// Hook: the shard engine is about to persist spill number `ordinal`
+/// (1-based). May _Exit the process, or apply the plan's short/torn-write
+/// mutation in place and return true when a fault fired — the engine still
+/// writes the mutated bytes, so the corruption lands on disk exactly like a
+/// real torn write under the rename.
+[[nodiscard]] bool fault_on_shard_spill(std::size_t ordinal, std::vector<char>& bytes) noexcept;
+
+/// Durability observability: atomic_write_file calls note_dir_fsync() after
+/// it has fsynced the parent directory of a rename, and tests read the
+/// running total via dir_fsync_count() to pin the rename-durability rule
+/// (see DESIGN.md §11). Always on — one relaxed atomic increment — so the
+/// regression test does not depend on a fault plan being installed.
+void note_dir_fsync() noexcept;
+[[nodiscard]] std::uint64_t dir_fsync_count() noexcept;
 
 }  // namespace levy::sim

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <bit>
+#include <cmath>
+#include <cstring>
 #include <utility>
 
 #include "src/core/contracts.h"
@@ -16,21 +18,68 @@ __extension__ typedef __int128 int128;
 /// between runs: continuous strategies (uniform_exponent) produce a fresh α
 /// per walker and would otherwise grow it without bound.
 constexpr std::size_t kDistCacheLimit = 1024;
-}  // namespace
 
-walk_engine& walk_engine::local() {
-    thread_local walk_engine engine;
-    return engine;
+void put_u64(std::vector<char>& out, std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
 }
 
-void walk_engine::clear(std::uint64_t cap) {
-    // The distribution cache is keyed by (α, cap); entries for another cap
-    // — or an overgrown cache — are useless, so reset and let walkers
-    // rebuild. Rebuilds are deterministic, so pooling never affects results.
-    if (!dists_.empty() && (dists_.front().cap != cap || dists_.size() > kDistCacheLimit)) {
-        dists_.clear();
+void put_i64(std::vector<char>& out, std::int64_t v) {
+    put_u64(out, static_cast<std::uint64_t>(v));
+}
+
+std::uint64_t get_u64(const char* p) noexcept {
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+        v |= static_cast<std::uint64_t>(static_cast<unsigned char>(p[i])) << (8 * i);
+    }
+    return v;
+}
+
+std::int64_t get_i64(const char* p) noexcept {
+    return static_cast<std::int64_t>(get_u64(p));
+}
+
+void put_rng(std::vector<char>& out, const rng& g) {
+    const rng::state s = g.save();
+    put_u64(out, s.seed);
+    for (const std::uint64_t w : s.engine) put_u64(out, w);
+}
+
+rng get_rng(const char* p) noexcept {
+    rng::state s;
+    s.seed = get_u64(p);
+    for (int i = 0; i < 4; ++i) s.engine[static_cast<std::size_t>(i)] = get_u64(p + 8 + 8 * i);
+    return rng::restore(s);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// dist_cache
+
+void dist_cache::reset(std::uint64_t cap) {
+    if (!entries_.empty() && (cap_ != cap || entries_.size() > kDistCacheLimit)) {
+        entries_.clear();
     }
     cap_ = cap;
+}
+
+std::uint32_t dist_cache::index_for(double alpha) {
+    return index_for_bits(std::bit_cast<std::uint64_t>(alpha));
+}
+
+std::uint32_t dist_cache::index_for_bits(std::uint64_t alpha_bits) {
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+        if (entries_[i].alpha_bits == alpha_bits) return static_cast<std::uint32_t>(i);
+    }
+    entries_.push_back({alpha_bits, jump_distribution(std::bit_cast<double>(alpha_bits), cap_)});
+    return static_cast<std::uint32_t>(entries_.size() - 1);
+}
+
+// ---------------------------------------------------------------------------
+// walker_block
+
+void walker_block::clear() {
     ids_.clear();
     main_.clear();
     path_.clear();
@@ -53,21 +102,18 @@ void walk_engine::clear(std::uint64_t cap) {
     pxt_.clear();
 }
 
-std::uint32_t walk_engine::dist_for(double alpha) {
-    const std::uint64_t bits = std::bit_cast<std::uint64_t>(alpha);
-    for (std::size_t i = 0; i < dists_.size(); ++i) {
-        if (dists_[i].alpha_bits == bits) return static_cast<std::uint32_t>(i);
-    }
-    dists_.push_back({bits, cap_, jump_distribution(alpha, cap_)});
-    return static_cast<std::uint32_t>(dists_.size() - 1);
+std::uint64_t walker_block::min_live_elapsed() const noexcept {
+    std::uint64_t least = ~std::uint64_t{0};
+    for (std::size_t w = 0; w < ids_.size(); ++w) least = std::min(least, elapsed_[w]);
+    return least;
 }
 
-void walk_engine::spawn(std::size_t id, double alpha, rng stream) {
+void walker_block::spawn(std::size_t id, double alpha, rng stream, dist_cache& dists) {
     ids_.push_back(id);
     main_.push_back(stream);
     // Placeholder until the first d >= 1 phase derives the real substream.
     path_.push_back(stream.substream(0));
-    dist_ix_.push_back(dist_for(alpha));
+    dist_ix_.push_back(dists.index_for(alpha));
     x_.push_back(origin.x);
     y_.push_back(origin.y);
     elapsed_.push_back(0);
@@ -86,7 +132,7 @@ void walk_engine::spawn(std::size_t id, double alpha, rng stream) {
     pxt_.push_back(0);
 }
 
-void walk_engine::swap_slots(std::size_t a, std::size_t b) noexcept {
+void walker_block::swap_slots(std::size_t a, std::size_t b) noexcept {
     if (a == b) return;
     std::swap(ids_[a], ids_[b]);
     std::swap(main_[a], main_[b]);
@@ -110,7 +156,30 @@ void walk_engine::swap_slots(std::size_t a, std::size_t b) noexcept {
     std::swap(pxt_[a], pxt_[b]);
 }
 
-void walk_engine::replay_step(std::size_t w) {
+void walker_block::truncate(std::size_t live_count) {
+    ids_.resize(live_count);
+    main_.resize(live_count, rng::seeded(0));
+    path_.resize(live_count, rng::seeded(0));
+    dist_ix_.resize(live_count);
+    x_.resize(live_count);
+    y_.resize(live_count);
+    elapsed_.resize(live_count);
+    phase_.resize(live_count);
+    total_.resize(live_count);
+    j_.resize(live_count);
+    adx_.resize(live_count);
+    ady_.resize(live_count);
+    sx_.resize(live_count);
+    sy_.resize(live_count);
+    px_.resize(live_count);
+    py_.resize(live_count);
+    destx_.resize(live_count);
+    desty_.resize(live_count);
+    istar_.resize(live_count);
+    pxt_.resize(live_count);
+}
+
+void walker_block::replay_step(std::size_t w) {
     bool step_x;
     if (px_[w] == adx_[w]) {
         step_x = false;
@@ -136,8 +205,9 @@ void walk_engine::replay_step(std::size_t w) {
     ++j_[w];
 }
 
-bool walk_engine::advance_one(std::size_t w, std::uint64_t allowance, point target,
-                              best_state& best) {
+bool walker_block::advance_one(std::size_t w, const engine_options& opts,
+                               const dist_cache& dists, std::uint64_t allowance, point target,
+                               best_state& best) {
     if (total_[w] == 0) {
         // Begin a phase: same stream, same draw order as the scalar walk.
         ++phase_[w];
@@ -145,7 +215,7 @@ bool walk_engine::advance_one(std::size_t w, std::uint64_t allowance, point targ
         // pure in the walker's own draw history (total_ hits 0 exactly when
         // the scalar walk starts a phase), so the draw count replays
         // bit-exactly — pinned by walk_engine_test scalar/batch parity.
-        const std::uint64_t d = dists_[dist_ix_[w]].dist.sample_capped(main_[w], cap_);
+        const std::uint64_t d = dists.at(dist_ix_[w]).sample_capped(main_[w], dists.cap());
         if (d == 0) {
             // Stay-put phase: exactly one step, position unchanged. The
             // position is never the target here (a walker retires the step
@@ -189,7 +259,7 @@ bool walk_engine::advance_one(std::size_t w, std::uint64_t allowance, point targ
     // substream — so they are skipped arithmetically.
     const std::uint64_t j0 = j_[w];
     std::uint64_t take = std::min(total_[w] - j0, allowance - elapsed_[w]);
-    if (opts_.epoch_steps != 0) take = std::min(take, opts_.epoch_steps);
+    if (opts.epoch_steps != 0) take = std::min(take, opts.epoch_steps);
     const std::uint64_t jend = j0 + take;
     if (istar_[w] != 0 && j0 < istar_[w]) {
         const std::uint64_t replay_to = std::min(jend, istar_[w]);
@@ -199,7 +269,7 @@ bool walk_engine::advance_one(std::size_t w, std::uint64_t allowance, point targ
                 const std::uint64_t t = elapsed_[w] + (istar_[w] - j0);
                 // Order-independent lex-min registration: better time, or
                 // equal time from a smaller walker index.
-                if (t < best.time || (t == best.time && (!best.hit || ids_[w] < best.winner))) {
+                if (!best.hit || t < best.time || (t == best.time && ids_[w] < best.winner)) {
                     best.hit = true;
                     best.time = t;
                     best.winner = ids_[w];
@@ -219,26 +289,133 @@ bool walk_engine::advance_one(std::size_t w, std::uint64_t allowance, point targ
     return elapsed_[w] >= allowance;
 }
 
-walk_engine::best_state walk_engine::drive(point target, std::uint64_t budget) {
-    best_state best;
-    best.time = budget;
-    std::size_t live = ids_.size();
-    while (live > 0) {
-        // One epoch: every live walker advances one phase (or quantum
-        // chunk). The sweep re-reads `best` per walker, so an early hit
-        // immediately shrinks everyone else's allowance; correctness never
-        // depends on that — only the amount of pruned work does.
-        for (std::size_t w = 0; w < live;) {
-            const std::uint64_t allowance = best.hit ? best.time : budget;
-            const bool retire =
-                elapsed_[w] >= allowance || advance_one(w, allowance, target, best);
-            if (retire) {
-                swap_slots(w, live - 1);
-                --live;
-            } else {
-                ++w;
-            }
+void walker_block::epoch(const engine_options& opts, const dist_cache& dists, point target,
+                         std::uint64_t allowance_cap, best_state& best) {
+    std::size_t live_count = ids_.size();
+    // The sweep re-reads `best` per walker, so an early hit immediately
+    // shrinks everyone else's allowance; correctness never depends on that
+    // — only the amount of pruned work does.
+    for (std::size_t w = 0; w < live_count;) {
+        const std::uint64_t allowance =
+            best.hit ? std::min(best.time, allowance_cap) : allowance_cap;
+        const bool retire =
+            elapsed_[w] >= allowance || advance_one(w, opts, dists, allowance, target, best);
+        if (retire) {
+            swap_slots(w, live_count - 1);
+            --live_count;
+        } else {
+            ++w;
         }
+    }
+    truncate(live_count);
+}
+
+void walker_block::serialize(const dist_cache& dists, std::vector<char>& out) const {
+    out.reserve(out.size() + ids_.size() * kBytesPerWalker);
+    for (std::size_t w = 0; w < ids_.size(); ++w) {
+        put_u64(out, static_cast<std::uint64_t>(ids_[w]));
+        put_u64(out, dists.alpha_bits(dist_ix_[w]));
+        put_rng(out, main_[w]);
+        put_rng(out, path_[w]);
+        put_i64(out, x_[w]);
+        put_i64(out, y_[w]);
+        put_u64(out, elapsed_[w]);
+        put_u64(out, phase_[w]);
+        put_u64(out, total_[w]);
+        put_u64(out, j_[w]);
+        put_i64(out, adx_[w]);
+        put_i64(out, ady_[w]);
+        put_i64(out, sx_[w]);
+        put_i64(out, sy_[w]);
+        put_i64(out, px_[w]);
+        put_i64(out, py_[w]);
+        put_i64(out, destx_[w]);
+        put_i64(out, desty_[w]);
+        put_u64(out, istar_[w]);
+        put_i64(out, pxt_[w]);
+    }
+}
+
+bool walker_block::deserialize(const char* bytes, std::size_t count, dist_cache& dists) {
+    clear();
+    for (std::size_t w = 0; w < count; ++w) {
+        const char* p = bytes + w * kBytesPerWalker;
+        const std::uint64_t id = get_u64(p);
+        const std::uint64_t alpha_bits = get_u64(p + 8);
+        const double alpha = std::bit_cast<double>(alpha_bits);
+        const rng main_stream = get_rng(p + 16);
+        const rng path_stream = get_rng(p + 56);
+        const std::int64_t x = get_i64(p + 96);
+        const std::int64_t y = get_i64(p + 104);
+        const std::uint64_t elapsed = get_u64(p + 112);
+        const std::uint64_t phase = get_u64(p + 120);
+        const std::uint64_t total = get_u64(p + 128);
+        const std::uint64_t j = get_u64(p + 136);
+        const std::int64_t adx = get_i64(p + 144);
+        const std::int64_t ady = get_i64(p + 152);
+        const std::int64_t sx = get_i64(p + 160);
+        const std::int64_t sy = get_i64(p + 168);
+        const std::int64_t px = get_i64(p + 176);
+        const std::int64_t py = get_i64(p + 184);
+        const std::int64_t destx = get_i64(p + 192);
+        const std::int64_t desty = get_i64(p + 200);
+        const std::uint64_t istar = get_u64(p + 208);
+        const std::int64_t pxt = get_i64(p + 216);
+        // Structural sanity before the values can reach samplers or the
+        // replay arithmetic; CRC catches random corruption first, so this
+        // is defense-in-depth against a validly-checksummed-but-bogus file.
+        const bool alpha_ok = std::isfinite(alpha) && alpha > 1.0;
+        const bool sign_ok = (sx == 1 || sx == -1) && (sy == 1 || sy == -1);
+        bool phase_ok = true;
+        if (total != 0) {
+            phase_ok = j < total && adx >= 0 && ady >= 0 &&
+                       static_cast<std::uint64_t>(adx) + static_cast<std::uint64_t>(ady) ==
+                           total &&
+                       px >= 0 && py >= 0 && px <= adx && py <= ady &&
+                       istar <= total && phase > 0;
+        }
+        if (!alpha_ok || !sign_ok || !phase_ok) {
+            clear();
+            return false;
+        }
+        ids_.push_back(static_cast<std::size_t>(id));
+        main_.push_back(main_stream);
+        path_.push_back(path_stream);
+        dist_ix_.push_back(dists.index_for_bits(alpha_bits));
+        x_.push_back(x);
+        y_.push_back(y);
+        elapsed_.push_back(elapsed);
+        phase_.push_back(phase);
+        total_.push_back(total);
+        j_.push_back(j);
+        adx_.push_back(adx);
+        ady_.push_back(ady);
+        sx_.push_back(sx);
+        sy_.push_back(sy);
+        px_.push_back(px);
+        py_.push_back(py);
+        destx_.push_back(destx);
+        desty_.push_back(desty);
+        istar_.push_back(istar);
+        pxt_.push_back(pxt);
+    }
+    return true;
+}
+
+// ---------------------------------------------------------------------------
+// walk_engine
+
+walk_engine& walk_engine::local() {
+    thread_local walk_engine engine;
+    return engine;
+}
+
+best_state walk_engine::drive(point target, std::uint64_t budget) {
+    best_state best;
+    while (block_.live() > 0) {
+        // One epoch: every live walker advances one phase (or quantum
+        // chunk), pruned by the best hit registered so far.
+        block_.epoch(opts_, dists_, target, budget, best);
     }
     return best;
 }
@@ -246,10 +423,11 @@ walk_engine::best_state walk_engine::drive(point target, std::uint64_t budget) {
 hit_result walk_engine::run_single(double alpha, point target, std::uint64_t budget,
                                    const rng& stream, std::uint64_t cap) {
     if (target == origin) return {true, 0};
-    clear(cap);
-    spawn(0, alpha, stream);
+    dists_.reset(cap);
+    block_.clear();
+    block_.spawn(0, alpha, stream, dists_);
     const best_state best = drive(target, budget);
-    return {best.hit, best.time};
+    return {best.hit, best.hit ? best.time : budget};
 }
 
 parallel_result walk_engine::run_parallel(std::size_t k, const exponent_strategy& strategy,
@@ -264,16 +442,19 @@ parallel_result walk_engine::run_parallel(std::size_t k, const exponent_strategy
         result.time = 0;
         result.winner = 0;
     } else {
-        clear(cap);
+        dists_.reset(cap);
+        block_.clear();
         for (std::size_t i = 0; i < k; ++i) {
             rng stream = trial_stream.substream(i);
             const double alpha = strategy(i, stream);  // consumes the same draws as scalar
-            spawn(i, alpha, stream);
+            block_.spawn(i, alpha, stream, dists_);
         }
         const best_state best = drive(target, budget);
-        result.hit = best.hit;
-        result.time = best.time;
-        result.winner = best.winner;
+        if (best.hit) {
+            result.hit = true;
+            result.time = best.time;
+            result.winner = best.winner;
+        }
     }
     if (result.hit) {
         // Same winner-exponent replay as parallel_hit: strategy draws are a

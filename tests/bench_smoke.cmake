@@ -25,7 +25,8 @@ set(benches
   e9_ants_baselines e10_monotonicity e11_origin_visits e12_distributions
   e13_displacement e14_kleinberg e15_micro e16_intermittent e17_foraging
   e18_strategy_ablation e19_torus_cauchy e20_first_passage
-  e21_exact_occupancy e22_advice_tradeoff e23_serve_load)
+  e21_exact_occupancy e22_advice_tradeoff e23_serve_load
+  e24_billion_walkers)
 
 set(default_args --trials=50 --scale=0.25)
 # E1/E2: hit probabilities are tiny, the log-log fit needs >=2 budgets with
@@ -36,6 +37,9 @@ set(args_e1_superdiffusive_hit --trials=500 --scale=0.25)
 set(args_e2_early_hitting --trials=1000 --scale=0.05)
 set(args_e12_distributions --trials=20000 --scale=0.25)
 set(args_e15_micro --benchmark_filter=BM_Xoshiro)
+# E24: out-of-core sweep; tiny trial count, scale keeps k <= 4096 while the
+# default memory budget still forces spill/reload traffic.
+set(args_e24_billion_walkers --trials=2 --scale=0.25)
 
 foreach(bench IN LISTS benches)
   set(exe "${BENCH_DIR}/bench_${bench}")

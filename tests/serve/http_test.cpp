@@ -167,6 +167,121 @@ TEST(HttpReadHead, GarbageRequestLineIsMalformed) {
     ::close(fds[1]);
 }
 
+/// Accepts exactly one connection on an ephemeral port and hands it to
+/// `handler` on a background thread. The destructor joins, so handlers must
+/// terminate once the client hangs up (their sends start failing).
+class one_shot_server {
+public:
+    template <class Handler>
+    explicit one_shot_server(Handler handler) {
+        const auto [fd, port] = listen_on(0);
+        listen_fd_ = fd;
+        port_ = port;
+        worker_ = std::thread([fd, handler] {
+            const int client = ::accept(fd, nullptr, nullptr);
+            if (client >= 0) {
+                handler(client);
+                ::close(client);
+            }
+        });
+    }
+    ~one_shot_server() {
+        worker_.join();
+        ::close(listen_fd_);
+    }
+    [[nodiscard]] unsigned short port() const noexcept { return port_; }
+
+private:
+    int listen_fd_ = -1;
+    unsigned short port_ = 0;
+    std::thread worker_;
+};
+
+/// Read the client's request head before answering: closing a socket with
+/// unread received data sends an RST, which can discard the response from
+/// the client's buffer — a real server always consumes the request first.
+void drain_request(int fd) {
+    std::string head;
+    char buf[512];
+    while (head.find("\r\n\r\n") == std::string::npos) {
+        const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+        if (n <= 0) return;
+        head.append(buf, static_cast<std::size_t>(n));
+    }
+}
+
+// The client-side slow-loris regression, mirror image of the server test
+// above: a drip-feed *server* trickles one byte per interval without ever
+// closing, so every per-recv timer is reset and a client with only per-recv
+// timeouts reads (and buffers) for as long as the server cares to drip. The
+// total response deadline must cut it off at ~timeout_seconds.
+TEST(HttpGetClient, DripFeedServerCannotOutliveTheTotalDeadline) {
+    one_shot_server server([](int client) {
+        drain_request(client);
+        (void)send_all(client, "HTTP/1.1 200 OK\r\n\r\n");
+        // Never closes on its own: 150 drips x 20 ms = 3 s of trickle. The
+        // client hanging up mid-drip makes send fail, which is the expected
+        // way out (MSG_NOSIGNAL inside send_all turns SIGPIPE into -1).
+        for (int i = 0; i < 150; ++i) {
+            if (::send(client, "x", 1, MSG_NOSIGNAL) <= 0) break;
+            std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        }
+    });
+    const auto start = std::chrono::steady_clock::now();
+    const auto body = http_get(server.port(), "/", /*timeout_seconds=*/0.3);
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+    EXPECT_FALSE(body.has_value());  // deadline tears the response
+    EXPECT_GE(elapsed, 0.25);        // waited out the total deadline...
+    EXPECT_LT(elapsed, 1.0);         // ...not the server's 3 s of drip
+}
+
+TEST(HttpGetClient, OversizedResponseIsBoundedNotBuffered) {
+    one_shot_server server([](int client) {
+        drain_request(client);
+        (void)send_all(client, "HTTP/1.1 200 OK\r\n\r\n" + std::string(1 << 16, 'z'));
+    });
+    int status = -1;
+    const auto body = http_get(server.port(), "/", /*timeout_seconds=*/2.0, &status,
+                               /*max_response_bytes=*/1024);
+    EXPECT_FALSE(body.has_value());
+    EXPECT_EQ(status, 0);
+}
+
+// The atoi regression: a garbage status field used to parse as "status 0"
+// and the body was still returned as if the exchange were fine. A response
+// whose status cannot be read strictly must read as no response at all.
+TEST(HttpGetClient, GarbageStatusFieldYieldsNoResponse) {
+    const std::string garbage[] = {
+        "HTTP/1.1 ABC Bad\r\n\r\nbody",   // non-numeric field
+        "HTTP/1.1 42 Early\r\n\r\nbody",  // two digits then a space
+        "HTTP/1.1 9999 Big\r\n\r\nbody",  // four digits
+        "HTTP/1.1 099 Pad\r\n\r\nbody",   // below the 1xx-5xx range
+    };
+    for (const std::string& head : garbage) {
+        one_shot_server server([head](int client) {
+            drain_request(client);
+            (void)send_all(client, head);
+        });
+        int status = -1;
+        const auto body = http_get(server.port(), "/", 2.0, &status);
+        EXPECT_FALSE(body.has_value()) << head;
+        EXPECT_EQ(status, 0) << head;
+    }
+}
+
+TEST(HttpGetClient, WellFormedErrorStatusStillParses) {
+    one_shot_server server([](int client) {
+        drain_request(client);
+        (void)send_all(client, "HTTP/1.1 404 Not Found\r\n\r\noops");
+    });
+    int status = -1;
+    const auto body = http_get(server.port(), "/", 2.0, &status);
+    ASSERT_TRUE(body.has_value());
+    EXPECT_EQ(*body, "oops");
+    EXPECT_EQ(status, 404);
+}
+
 #endif  // LEVY_SERVE_HAVE_POSIX_SOCKETS
 
 }  // namespace

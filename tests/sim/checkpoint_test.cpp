@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "src/sim/checkpoint.h"
+#include "src/sim/fault.h"
 #include "src/sim/monte_carlo.h"
 
 namespace levy::sim {
@@ -66,6 +67,19 @@ TEST_F(CheckpointTest, AtomicWriteRoundTripsAndLeavesNoTemp) {
     atomic_write_file(path, next);
     EXPECT_EQ(read_all(path), next);
 }
+
+#if defined(__unix__) || defined(__APPLE__)
+TEST_F(CheckpointTest, AtomicWriteFsyncsTheParentDirectory) {
+    // Regression: rename alone does not make the new directory entry
+    // durable on POSIX — atomic_write_file must fsync the parent directory
+    // after the rename, or a power cut can forget a "committed" checkpoint.
+    // The counter is bumped by the production code path itself (see
+    // note_dir_fsync), so this fails against a build that skips the fsync.
+    const std::uint64_t before = dir_fsync_count();
+    atomic_write_file(file("durable.bin"), std::vector<char>{'h', 'i'});
+    EXPECT_GT(dir_fsync_count(), before);
+}
+#endif
 
 TEST_F(CheckpointTest, MissingFileIsUnmatched) {
     const auto loaded = load_journal(file("absent.ckpt"), journal_key{1, 2, 8});

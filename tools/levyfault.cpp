@@ -19,6 +19,23 @@
 //       the resumed CSV against the reference. Also proves torn-write
 //       recovery. Exit 0 = every scenario bit-identical.
 //
+//   levyfault shardrun [--trials=N] [--seed=X] [--threads=T] [--out=FILE]
+//                      [--shards=S] [--memory-budget=B] [--spill-dir=DIR]
+//                      [--kill-at-spill=N]
+//       One fixed sharded parallel-walk sweep; per-trial results (including
+//       winner and winner exponent) as CSV to --out. Without --shards /
+//       --memory-budget it runs the in-memory engine — the byte-compare
+//       reference. --kill-at-spill=N _Exit(9)s at the N-th shard spill of a
+//       trial, leaving the spill directory mid-flight for a resume.
+//
+//   levyfault shards [--dir=DIR]
+//       Out-of-core drill: for 1 and 4 threads, runs an in-memory
+//       reference, a clean sharded run (byte-identical), a sharded run
+//       killed at a spill, corrupts one of the surviving shard files, then
+//       reruns over the same spill directory and byte-compares against the
+//       reference. Exit 0 = kill -9 lost nothing and the corrupt shard
+//       recomputed itself.
+//
 //   levyfault serve
 //       In-process service-fault drills against a live levyserve core
 //       (src/serve/server.h): a stalled client socket is cut off by the
@@ -37,6 +54,7 @@
 #include <sstream>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "src/core/strategy.h"
 #include "src/serve/http.h"
@@ -146,6 +164,49 @@ int cmd_run(const arg_map& args) {
     return 0;
 }
 
+int cmd_shardrun(const arg_map& args) {
+    sim::mc_options opts;
+    opts.trials = args.get<std::size_t>("trials", 6);
+    opts.seed = args.get<std::uint64_t>("seed", 4242);
+    opts.threads = args.get<unsigned>("threads", 1);
+
+    sim::fault_plan plan;
+    plan.exit_at_shard_spill = args.get<std::size_t>("kill-at-spill", sim::fault_plan::kNever);
+    if (plan.exit_at_shard_spill != sim::fault_plan::kNever) sim::install_fault_plan(plan);
+
+    // Fixed workload: the drill is about the spill files, so only the
+    // sharding knobs and the Monte-Carlo identity vary.
+    sim::parallel_walk_config cfg;
+    cfg.k = 12;
+    cfg.strategy = fixed_exponent(2.5);
+    cfg.ell = 24;
+    cfg.budget = 3000;
+    cfg.shards = args.get<std::size_t>("shards", 0);
+    cfg.memory_budget = args.get<std::uint64_t>("memory-budget", 0);
+    cfg.spill_dir = args.text("spill-dir", "");
+
+    const auto results = sim::monte_carlo_collect(
+        opts, [&cfg](std::size_t, rng& g) { return sim::parallel_walk_trial(cfg, g); });
+    sim::clear_fault_plan();
+
+    std::ostringstream csv;
+    csv.precision(17);
+    csv << "trial,hit,time,winner,winner_alpha\n";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        csv << i << ',' << results[i].hit << ',' << results[i].time << ','
+            << results[i].winner << ',' << results[i].winner_alpha << '\n';
+    }
+    const std::string out_path = args.text("out", "");
+    if (out_path.empty()) {
+        std::cout << csv.str();
+    } else {
+        std::ofstream out(out_path, std::ios::binary | std::ios::trunc);
+        out << csv.str();
+        if (!out.good()) throw std::runtime_error("levyfault: cannot write " + out_path);
+    }
+    return 0;
+}
+
 /// Run a child levyfault command line; returns its raw std::system status.
 int spawn(const std::string& self, const std::string& args) {
     const std::string cmd = self + " " + args;
@@ -221,6 +282,89 @@ int cmd_selftest(const std::string& self, const arg_map& args) {
 
     fs::remove_all(dir);
     std::cout << "[levyfault] all crash/resume scenarios bit-identical\n";
+    return 0;
+}
+
+int cmd_shards_drill(const std::string& self, const arg_map& args) {
+    namespace fs = std::filesystem;
+    const fs::path dir =
+        args.text("dir", (fs::temp_directory_path() / "levyfault_shards").string());
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+    const auto p = [&dir](const std::string& name) { return (dir / name).string(); };
+    const auto fail_shards = [](const std::string& what) {
+        std::cerr << "levyfault shards FAILED: " << what << "\n";
+        return 1;
+    };
+    const auto shard_files = [](const fs::path& spill_dir) {
+        std::vector<fs::path> files;
+        if (fs::exists(spill_dir)) {
+            for (const auto& entry : fs::directory_iterator(spill_dir)) {
+                if (entry.path().extension() == ".lvyshard") files.push_back(entry.path());
+            }
+        }
+        return files;
+    };
+
+    for (const unsigned threads : {1u, 4u}) {
+        const std::string tag = std::to_string(threads);
+        const std::string common = "shardrun --trials=6 --seed=4242 --threads=" + tag;
+        // 6 shards of 2 walkers under a 3-walker resident budget: every
+        // round evicts, so spills are frequent and a kill lands mid-flight.
+        const std::string spill_dir = p("spill-" + tag);
+        const std::string sharded_flags = " --shards=6 --memory-budget=" +
+                                          std::to_string(3 * 224) +
+                                          " --spill-dir=" + spill_dir;
+        std::cout << "[levyfault] out-of-core kill/resume, threads=" << threads << "\n";
+
+        if (spawn(self, common + " --out=" + p("ref.csv")) != 0) {
+            return fail_shards("in-memory reference run did not exit 0");
+        }
+        const std::string reference = slurp(p("ref.csv"));
+        if (reference.empty()) return fail_shards("reference CSV is empty");
+
+        // Clean sharded run: bit-identical results, no files left behind.
+        if (spawn(self, common + sharded_flags + " --out=" + p("sharded.csv")) != 0) {
+            return fail_shards("sharded run did not exit 0");
+        }
+        if (slurp(p("sharded.csv")) != reference) {
+            return fail_shards("sharded CSV differs from in-memory reference");
+        }
+        if (!shard_files(spill_dir).empty()) {
+            return fail_shards("clean sharded run left spill files behind");
+        }
+
+        // Kill -9 (well, _Exit(9)) at a spill: the run must die nonzero and
+        // leave already-synced shards on disk for the resume.
+        if (spawn(self, common + sharded_flags + " --kill-at-spill=7 --out=" +
+                            p("killed.csv")) == 0) {
+            return fail_shards("killed run exited 0 — fault did not fire");
+        }
+        const auto survivors = shard_files(spill_dir);
+        if (survivors.empty()) return fail_shards("kill left no spill files behind");
+
+        // Corrupt one survivor: only that shard may recompute, and the
+        // rerun must still match the reference byte for byte.
+        {
+            std::fstream f(survivors.front(), std::ios::binary | std::ios::in | std::ios::out);
+            f.seekp(100);
+            f.put(static_cast<char>(0x5a));
+            if (!f.good()) return fail_shards("could not corrupt a surviving shard file");
+        }
+        if (spawn(self, common + sharded_flags + " --out=" + p("resumed.csv")) != 0) {
+            return fail_shards("resumed sharded run did not exit 0");
+        }
+        if (slurp(p("resumed.csv")) != reference) {
+            return fail_shards("resumed CSV differs from in-memory reference");
+        }
+        if (!shard_files(spill_dir).empty()) {
+            return fail_shards("resumed run left spill files behind");
+        }
+    }
+
+    fs::remove_all(dir);
+    std::cout << "[levyfault] out-of-core scenarios bit-identical through kill and "
+                 "corruption\n";
     return 0;
 }
 
@@ -312,7 +456,7 @@ int cmd_serve_drills() {
 #endif  // LEVY_SERVE_HAVE_POSIX_SOCKETS
 
 void usage() {
-    std::cout << "levyfault <run|selftest|serve> [--flag=value ...]   (see source header)\n";
+    std::cout << "levyfault <run|shardrun|selftest|shards|serve> [--flag=value ...]   (see source header)\n";
 }
 
 }  // namespace
@@ -326,7 +470,9 @@ int main(int argc, char** argv) {
         const std::string_view cmd = argv[1];
         const arg_map args(argc, argv, 2);
         if (cmd == "run") return cmd_run(args);
+        if (cmd == "shardrun") return cmd_shardrun(args);
         if (cmd == "selftest") return cmd_selftest(argv[0], args);
+        if (cmd == "shards") return cmd_shards_drill(argv[0], args);
         if (cmd == "serve") return cmd_serve_drills();
         usage();
         return 2;
